@@ -1,0 +1,140 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+These are not paper figures; they quantify the sensitivity of the
+techniques to their key parameters:
+
+* toggle threshold (0.5 K in the paper) — how often toggling fires;
+* turnoff hysteresis — thermostat chatter for fine-grain turnoff;
+* sensing interval — controller reaction time;
+* completely-balanced mapping — the wire-hungry third mapping of
+  Figure 4, which cannot use fine-grain turnoff at all.
+"""
+
+import dataclasses
+
+from repro.core.mapping import MappingKind
+from repro.core.policies import (ALUPolicy, IssueQueuePolicy,
+                                 RegFilePolicy, TechniqueConfig)
+from repro.pipeline.config import ThermalConfig
+from repro.sim.results import format_table
+from repro.sim.runner import SimulationConfig, run_simulation
+from repro.thermal.floorplan import FloorplanVariant
+
+BENCH = "mesa"
+
+
+def _run(cycles, thermal=None, techniques=None,
+         variant=FloorplanVariant.ISSUE_QUEUE, bench=BENCH):
+    config = SimulationConfig(
+        benchmark=bench, variant=variant,
+        techniques=techniques or TechniqueConfig(
+            issue_queue=IssueQueuePolicy.ACTIVITY_TOGGLING),
+        max_cycles=cycles)
+    if thermal is not None:
+        config = dataclasses.replace(config, thermal=thermal)
+    return run_simulation(config)
+
+
+def test_ablation_toggle_threshold(benchmark, cycles):
+    def sweep():
+        rows = []
+        for threshold in (0.25, 0.5, 1.0, 2.0):
+            thermal = dataclasses.replace(ThermalConfig(),
+                                          toggle_threshold_k=threshold)
+            result = _run(cycles, thermal=thermal)
+            rows.append((threshold, result.ipc, result.iq_toggles,
+                         result.global_stalls))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(("threshold K", "IPC", "toggles", "stalls"),
+                       rows, title="Ablation: toggle threshold (mesa)"))
+    toggles = [r[2] for r in rows]
+    assert toggles[0] >= toggles[-1]  # higher threshold, fewer toggles
+
+
+def test_ablation_sensing_interval(benchmark, cycles):
+    def sweep():
+        rows = []
+        for interval in (125, 250, 1000):
+            thermal = dataclasses.replace(
+                ThermalConfig(), sensor_interval_cycles=interval)
+            techniques = TechniqueConfig(alus=ALUPolicy.FINE_GRAIN)
+            result = _run(cycles, thermal=thermal, techniques=techniques,
+                          variant=FloorplanVariant.ALU, bench="perlbmk")
+            rows.append((interval, result.ipc, result.alu_turnoffs,
+                         result.global_stalls))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(("interval", "IPC", "turnoffs", "stalls"), rows,
+                       title="Ablation: sensing interval (perlbmk, ALU)"))
+
+
+def test_ablation_turnoff_hysteresis(benchmark, cycles):
+    def sweep():
+        rows = []
+        for hysteresis in (0.1, 0.4, 1.5):
+            thermal = dataclasses.replace(
+                ThermalConfig(), turnoff_hysteresis_k=hysteresis)
+            techniques = TechniqueConfig(alus=ALUPolicy.FINE_GRAIN)
+            result = _run(cycles, thermal=thermal, techniques=techniques,
+                          variant=FloorplanVariant.ALU, bench="perlbmk")
+            rows.append((hysteresis, result.ipc, result.alu_turnoffs))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(("hysteresis K", "IPC", "turnoffs"), rows,
+                       title="Ablation: turnoff hysteresis (perlbmk, ALU)"))
+    # Larger hysteresis keeps copies off longer: fewer on/off events.
+    assert rows[0][2] >= rows[-1][2]
+
+
+def test_ablation_completely_balanced_mapping(benchmark, cycles):
+    def sweep():
+        rows = []
+        for kind in (MappingKind.PRIORITY, MappingKind.BALANCED,
+                     MappingKind.COMPLETELY_BALANCED):
+            techniques = TechniqueConfig(
+                regfile=RegFilePolicy(kind, fine_grain_turnoff=True))
+            result = _run(cycles, techniques=techniques,
+                          variant=FloorplanVariant.REGFILE, bench="eon")
+            rows.append((kind.value, result.ipc, result.rf_turnoffs,
+                         result.global_stalls))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(("mapping", "IPC", "turnoffs", "stalls"), rows,
+                       title="Ablation: third mapping (eon, regfile)"))
+    # Completely-balanced cannot turn copies off (every ALU straddles
+    # both copies), so it falls back to stalling.
+    assert rows[2][2] == 0
+
+
+def test_ablation_temporal_fallback(benchmark, cycles):
+    """Stall vs duty-cycle throttling as the temporal technique, under
+    the base (no spatial technique) policy on a hot chip."""
+    import dataclasses as _dc
+
+    from repro.pipeline.config import ThermalConfig as _TC
+
+    def sweep():
+        rows = []
+        for technique in ("stall", "throttle"):
+            thermal = _dc.replace(_TC(), temporal_technique=technique)
+            result = _run(cycles, thermal=thermal,
+                          techniques=TechniqueConfig(),
+                          variant=FloorplanVariant.ALU, bench="perlbmk")
+            rows.append((technique, result.ipc, result.global_stalls,
+                         result.stall_cycles))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(("fallback", "IPC", "events", "stall cycles"),
+                       rows,
+                       title="Ablation: temporal fallback (perlbmk, ALU)"))

@@ -1,0 +1,21 @@
+"""Figure 6: IPC with and without activity toggling on the
+issue-queue constrained chip (paper §4.1)."""
+
+from repro.sim.experiments import issue_queue_experiment
+
+
+def test_figure6_activity_toggling(benchmark, cycles, benchmarks):
+    exp = benchmark.pedantic(
+        issue_queue_experiment,
+        kwargs=dict(benchmarks=benchmarks, max_cycles=cycles),
+        rounds=1, iterations=1)
+    print()
+    print(exp.format())
+    benchmark.extra_info["avg_speedup_all"] = exp.average_speedup()
+    benchmark.extra_info["avg_speedup_constrained"] = (
+        exp.average_speedup(only_constrained=True))
+    # Shape assertions (paper: cold benchmarks are insensitive).
+    if "art" in exp.benchmarks:
+        assert abs(exp.speedup("art")) < 0.02
+    if "mcf" in exp.benchmarks:
+        assert abs(exp.speedup("mcf")) < 0.02

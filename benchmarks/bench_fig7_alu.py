@@ -1,0 +1,22 @@
+"""Figure 7: IPC under round-robin (ideal), fine-grain turnoff, and
+the stall-on-overheat baseline on the ALU-constrained chip (§4.2)."""
+
+from repro.sim.experiments import alu_experiment
+
+
+def test_figure7_fine_grain_turnoff(benchmark, cycles, benchmarks):
+    exp = benchmark.pedantic(
+        alu_experiment,
+        kwargs=dict(benchmarks=benchmarks, max_cycles=cycles),
+        rounds=1, iterations=1)
+    print()
+    print(exp.format())
+    benchmark.extra_info["avg_speedup_all"] = exp.average_speedup()
+    benchmark.extra_info["fg_vs_rr"] = exp.fine_grain_vs_round_robin()
+
+    # Shape: fine-grain turnoff approaches the round-robin upper bound
+    # (paper: within ~1%) and beats the baseline overall.
+    assert exp.fine_grain_vs_round_robin() > -0.10
+    assert exp.average_speedup() > 0.0
+    if "parser" in exp.benchmarks:
+        assert abs(exp.speedup("parser")) < 0.02

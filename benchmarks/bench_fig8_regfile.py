@@ -1,0 +1,28 @@
+"""Figure 8: IPC of the register-file constrained chip under the four
+mapping x turnoff configurations (§4.3)."""
+
+from repro.sim.experiments import regfile_experiment
+
+
+def test_figure8_regfile_configurations(benchmark, cycles, benchmarks):
+    exp = benchmark.pedantic(
+        regfile_experiment,
+        kwargs=dict(benchmarks=benchmarks, max_cycles=cycles),
+        rounds=1, iterations=1)
+    print()
+    print(exp.format())
+    for key, over in (("turnoff_priority_vs_priority", "priority only"),
+                      ("turnoff_priority_vs_balanced", "balanced only")):
+        benchmark.extra_info[key] = exp.average_speedup(
+            "fine-grain + priority", over)
+
+    # Shape: the paper's orderings.
+    # 1. Without turnoff, balanced mapping beats priority mapping.
+    assert exp.average_speedup("balanced only", "priority only") > 0.0
+    # 2. Fine-grain turnoff + priority beats priority alone.
+    assert exp.average_speedup("fine-grain + priority",
+                               "priority only") > 0.0
+    # 3. The full combination is the best of the four.
+    for other in ("fine-grain + balanced", "balanced only",
+                  "priority only"):
+        assert exp.average_speedup("fine-grain + priority", other) >= 0.0

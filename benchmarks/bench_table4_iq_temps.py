@@ -1,0 +1,33 @@
+"""Table 4: average temperature of the issue-queue halves for the
+paper's three representative benchmarks (art, facerec, mesa), plus the
+toggle-count commentary of §4.1."""
+
+from repro.sim.experiments import issue_queue_experiment
+from repro.sim.results import format_table
+
+BENCHES = ("art", "facerec", "mesa")
+
+
+def test_table4_issue_queue_half_temperatures(benchmark, cycles):
+    exp = benchmark.pedantic(
+        issue_queue_experiment,
+        kwargs=dict(benchmarks=BENCHES, max_cycles=max(cycles, 100_000)),
+        rounds=1, iterations=1)
+    rows = [(bench, label, f"{tail:.1f}", f"{head:.1f}")
+            for bench, label, tail, head in exp.table4_rows()]
+    print()
+    print(format_table(("Benchmark", "Technique", "Tail (K)", "Head (K)"),
+                       rows, title="Table 4: avg temp of issue-queue halves"))
+    toggles = {b: exp.toggling[b].iq_toggles for b in BENCHES}
+    print(f"\ntoggle counts: {toggles}")
+
+    # Shape: toggling equalizes the halves; the base design does not.
+    for bench in ("facerec", "mesa"):
+        togg = exp.toggling[bench]
+        base = exp.base[bench]
+        togg_gap = abs(togg.mean_temps["IntQ0"] - togg.mean_temps["IntQ1"])
+        base_gap = abs(base.mean_temps["IntQ0"] - base.mean_temps["IntQ1"])
+        benchmark.extra_info[f"{bench}_gap_toggling"] = togg_gap
+        benchmark.extra_info[f"{bench}_gap_base"] = base_gap
+    # art never overheats the queue: no speedup available.
+    assert exp.base["art"].stall_cycles == 0

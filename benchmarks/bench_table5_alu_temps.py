@@ -1,0 +1,42 @@
+"""Table 5: per-ALU temperatures and IPC for parser (unconstrained)
+and perlbmk (ALU-constrained) under the three policies (§4.2)."""
+
+from repro.sim.experiments import alu_experiment
+from repro.sim.results import format_table
+
+BENCHES = ("parser", "perlbmk")
+
+
+def test_table5_alu_temperatures(benchmark, cycles):
+    exp = benchmark.pedantic(
+        alu_experiment,
+        kwargs=dict(benchmarks=BENCHES, max_cycles=max(cycles, 100_000)),
+        rounds=1, iterations=1)
+    rows = []
+    for bench, label, ipc, temps in exp.table5_rows():
+        rows.append((bench, label, f"{ipc:.1f}",
+                     *(f"{t:.1f}" for t in temps)))
+    print()
+    print(format_table(
+        ("Benchmark", "Technique", "IPC",
+         *(f"ALU{i} (K)" for i in range(6))), rows,
+        title="Table 5: average integer ALU temperatures"))
+
+    # Shape assertions from the paper's discussion:
+    # 1. parser is insensitive (never overheats).
+    parser = {label: ipc for _, label, ipc, _ in exp.table5_rows(("parser",))}
+    assert max(parser.values()) - min(parser.values()) < 0.02
+    # 2. Static priority produces a monotone temperature ladder.
+    base_temps = next(t for b, l, _, t in exp.table5_rows(("parser",))
+                      if l == "Base")
+    assert base_temps[0] > base_temps[5]
+    # 3. Round-robin flattens the ladder.
+    rr_temps = next(t for b, l, _, t in exp.table5_rows(("parser",))
+                    if l.startswith("Round"))
+    assert max(rr_temps) - min(rr_temps) < (base_temps[0] - base_temps[5])
+    # 4. perlbmk: fine-grain tolerates hotter ALUs than base (which
+    #    must stall the whole core instead).
+    perl = exp.table5_rows(("perlbmk",))
+    fg_temps = next(t for _, l, _, t in perl if l.startswith("Fine"))
+    base_perl = next(t for _, l, _, t in perl if l == "Base")
+    assert max(fg_temps) > max(base_perl)

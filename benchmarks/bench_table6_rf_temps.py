@@ -1,0 +1,32 @@
+"""Table 6: register-file copy temperatures and IPC for eon under all
+four configurations (§4.3)."""
+
+from repro.sim.experiments import regfile_experiment
+from repro.sim.results import format_table
+
+
+def test_table6_regfile_copy_temperatures(benchmark, cycles):
+    exp = benchmark.pedantic(
+        regfile_experiment,
+        kwargs=dict(benchmarks=("eon",), max_cycles=max(cycles, 100_000)),
+        rounds=1, iterations=1)
+    rows = [(label, f"{ipc:.2f}", f"{c0:.1f}", f"{c1:.1f}")
+            for label, ipc, c0, c1 in exp.table6_rows("eon")]
+    print()
+    print(format_table(
+        ("Technique", "IPC", "Copy 0 (K)", "Copy 1 (K)"), rows,
+        title="Table 6: average register-file copy temp. for eon"))
+    turnoffs = {label: exp.results[label]["eon"].rf_turnoffs
+                for label in exp.results}
+    print(f"\ncopy turnoff counts: {turnoffs}")
+
+    table = {label: (ipc, c0, c1)
+             for label, ipc, c0, c1 in exp.table6_rows("eon")}
+    # Shape: priority+turnoff achieves the highest IPC (paper: 1.2 vs
+    # 1.1 vs 0.9 vs 0.8), and balanced mapping keeps the copies closer
+    # in temperature than priority mapping.
+    assert table["fine-grain + priority"][0] >= max(
+        v[0] for v in table.values()) - 1e-9
+    bal_gap = abs(table["balanced only"][1] - table["balanced only"][2])
+    pri_gap = abs(table["priority only"][1] - table["priority only"][2])
+    assert bal_gap <= pri_gap + 0.1

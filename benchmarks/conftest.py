@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures and
+prints it (run with ``pytest benchmarks/ --benchmark-only -s`` to see
+the tables).  Environment knobs:
+
+* ``REPRO_BENCH_CYCLES`` — cycles per simulation (default 60000;
+  the paper-shape summaries stabilise around 150000+).
+* ``REPRO_BENCH_BENCHMARKS`` — comma-separated benchmark subset
+  (default: all 22).
+"""
+
+import os
+
+import pytest
+
+from repro.workloads import BENCHMARK_NAMES
+
+
+def bench_cycles(default: int = 60_000) -> int:
+    return int(os.environ.get("REPRO_BENCH_CYCLES", default))
+
+
+def bench_benchmarks():
+    names = os.environ.get("REPRO_BENCH_BENCHMARKS", "")
+    if not names:
+        return tuple(BENCHMARK_NAMES)
+    return tuple(n.strip() for n in names.split(",") if n.strip())
+
+
+@pytest.fixture(scope="session")
+def cycles():
+    return bench_cycles()
+
+
+@pytest.fixture(scope="session")
+def benchmarks():
+    return bench_benchmarks()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Watch the thermal trajectory of individual resource copies.
+
+Runs ``mesa`` on the issue-queue constrained floorplan with activity
+toggling and prints an ASCII strip chart of the two integer-queue
+halves, annotated with toggle events and cooling stalls — the
+mechanics behind the paper's Table 4.
+"""
+
+import argparse
+
+from repro import (FloorplanVariant, IssueQueuePolicy, SimulationConfig,
+                   TechniqueConfig)
+from repro.sim.runner import Simulator
+
+LO, HI = 345.0, 362.0
+WIDTH = 56
+
+
+def bar(temp: float) -> int:
+    frac = (temp - LO) / (HI - LO)
+    return max(0, min(WIDTH - 1, int(frac * WIDTH)))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="mesa")
+    parser.add_argument("--cycles", type=int, default=60_000)
+    parser.add_argument("--stride", type=int, default=8,
+                        help="print every Nth sensor sample")
+    args = parser.parse_args()
+
+    config = SimulationConfig(
+        benchmark=args.benchmark,
+        variant=FloorplanVariant.ISSUE_QUEUE,
+        techniques=TechniqueConfig(
+            issue_queue=IssueQueuePolicy.ACTIVITY_TOGGLING),
+        max_cycles=args.cycles)
+    sim = Simulator(config)
+
+    samples = []
+    seen = {"toggles": 0, "stalls": 0}
+    original = sim._on_sample
+
+    def traced(processor):
+        original(processor)
+        q0 = sim.thermal.temperature("IntQ0")
+        q1 = sim.thermal.temperature("IntQ1")
+        toggles = (sim.dtm.int_toggler.stats.toggles
+                   + sim.dtm.fp_toggler.stats.toggles)
+        stalls = sim.dtm.stats.global_stalls
+        event = ""
+        if toggles > seen["toggles"]:
+            event = "TOGGLE"
+        if stalls > seen["stalls"]:
+            event = "STALL"
+        seen.update(toggles=toggles, stalls=stalls)
+        samples.append((processor.now, q0, q1, event))
+
+    sim._on_sample = traced
+    result = sim.run()
+
+    print(f"{args.benchmark}: IntQ half temperatures over time "
+          f"(0 = lower half, 1 = upper half)")
+    print(f"scale: {LO:.0f} K {'-' * (WIDTH - 12)} {HI:.0f} K\n")
+    for now, q0, q1, event in samples[::args.stride]:
+        line = [" "] * WIDTH
+        p0, p1 = bar(q0), bar(q1)
+        line[p0] = "0"
+        line[p1] = "1" if p1 != p0 else "*"
+        print(f"{now:7d} |{''.join(line)}| {event}")
+
+    print(f"\nIPC {result.ipc:.3f}, toggles {result.iq_toggles}, "
+          f"stalls {result.global_stalls}")
+
+
+if __name__ == "__main__":
+    main()

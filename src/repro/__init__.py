@@ -1,0 +1,37 @@
+"""Reproduction of "Balancing Resource Utilization to Mitigate Power
+Density in Processor Pipelines" (Powell, Schuchman, Vijaykumar,
+MICRO 2005).
+
+Public API tour:
+
+* :mod:`repro.pipeline` — out-of-order superscalar substrate (compacting
+  issue queues, select trees, ALUs, register-file copies, caches).
+* :mod:`repro.core` — the paper's techniques: activity toggling,
+  fine-grain turnoff, and register-file port mappings, orchestrated by
+  :class:`repro.core.ThermalManager`.
+* :mod:`repro.power` / :mod:`repro.thermal` — Wattch-like energy
+  accounting and a HotSpot-like RC thermal network.
+* :mod:`repro.workloads` — synthetic SPEC2000 workload models.
+* :mod:`repro.sim` — one-call full-system runs
+  (:func:`repro.sim.run_simulation`) and the paper's experiments
+  (:mod:`repro.sim.experiments`).
+"""
+
+from .core import (ALL_TECHNIQUES, BASELINE, ALUPolicy, IssueQueuePolicy,
+                   MappingKind, RegFilePolicy, TechniqueConfig)
+from .pipeline import (MicroOp, OpClass, Processor, ProcessorConfig,
+                       Program, ThermalConfig)
+from .sim import SimulationConfig, SimulationResult, run_simulation
+from .thermal import FloorplanVariant
+from .workloads import BENCHMARK_NAMES, WorkloadProfile, workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_TECHNIQUES", "ALUPolicy", "BASELINE", "BENCHMARK_NAMES",
+    "FloorplanVariant", "IssueQueuePolicy", "MappingKind", "MicroOp",
+    "OpClass", "Processor", "ProcessorConfig", "Program",
+    "RegFilePolicy", "SimulationConfig", "SimulationResult",
+    "TechniqueConfig", "ThermalConfig", "WorkloadProfile",
+    "__version__", "run_simulation", "workload",
+]

@@ -1,0 +1,136 @@
+"""Command-line interface: run single simulations or paper experiments.
+
+Examples::
+
+    python -m repro run perlbmk --variant alu --alus fine_grain
+    python -m repro figure 7 --benchmarks perlbmk,parser --cycles 80000
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.mapping import MappingKind
+from .core.policies import (ALUPolicy, IssueQueuePolicy, RegFilePolicy,
+                            TechniqueConfig)
+from .sim.experiments import (alu_experiment, issue_queue_experiment,
+                              regfile_experiment)
+from .sim.runner import SimulationConfig, run_simulation
+from .thermal.floorplan import FloorplanVariant
+from .workloads.spec2000 import BENCHMARK_NAMES, PROFILES
+
+
+def _parse_benchmarks(text: str) -> List[str]:
+    names = [n.strip() for n in text.split(",") if n.strip()]
+    for name in names:
+        if name not in PROFILES:
+            raise SystemExit(f"unknown benchmark {name!r}; see "
+                             f"'python -m repro list'")
+    return names
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    print(f"{'benchmark':10s} {'type':5s} {'ILP':>5s} {'L1 miss':>8s} "
+          f"{'mispredict':>11s}")
+    for name in BENCHMARK_NAMES:
+        profile = PROFILES[name]
+        kind = "fp" if profile.fp_fraction > 0 else "int"
+        print(f"{name:10s} {kind:5s} {profile.dep_mean:5.1f} "
+              f"{profile.l1_miss:8.2f} {profile.mispredict_rate:11.2f}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    techniques = TechniqueConfig(
+        issue_queue=IssueQueuePolicy(args.issue_queue),
+        alus=ALUPolicy(args.alus),
+        regfile=RegFilePolicy(MappingKind(args.mapping),
+                              fine_grain_turnoff=args.rf_turnoff))
+    config = SimulationConfig(
+        benchmark=args.benchmark,
+        variant=FloorplanVariant(args.variant),
+        techniques=techniques,
+        max_cycles=args.cycles,
+        seed=args.seed)
+    result = run_simulation(config)
+    print(f"benchmark:      {result.benchmark}")
+    print(f"techniques:     {config.label()}")
+    print(f"IPC:            {result.ipc:.3f}")
+    print(f"committed:      {result.committed} in {result.cycles} cycles")
+    print(f"cooling stalls: {result.global_stalls} "
+          f"({result.stall_cycles} cycles) {result.stall_reasons}")
+    print(f"IQ toggles:     {result.iq_toggles}")
+    print(f"ALU turnoffs:   {result.alu_turnoffs}")
+    print(f"RF turnoffs:    {result.rf_turnoffs}")
+    hottest = sorted(result.mean_temps.items(), key=lambda kv: -kv[1])[:8]
+    print("hottest blocks (mean K / max K):")
+    for name, mean in hottest:
+        print(f"  {name:10s} {mean:7.2f} / {result.max_temps[name]:7.2f}")
+    return 0
+
+
+_EXPERIMENTS = {
+    "6": issue_queue_experiment,
+    "7": alu_experiment,
+    "8": regfile_experiment,
+}
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    runner = _EXPERIMENTS[args.number]
+    benchmarks = (_parse_benchmarks(args.benchmarks)
+                  if args.benchmarks else tuple(BENCHMARK_NAMES))
+    experiment = runner(benchmarks=benchmarks, max_cycles=args.cycles,
+                        seed=args.seed)
+    print(experiment.format())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Balancing Resource Utilization to "
+                    "Mitigate Power Density in Processor Pipelines' "
+                    "(MICRO 2005)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_p = sub.add_parser("list", help="list workload models")
+    list_p.set_defaults(func=_cmd_list)
+
+    run_p = sub.add_parser("run", help="run one simulation")
+    run_p.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    run_p.add_argument("--variant", default="base",
+                       choices=[v.value for v in FloorplanVariant])
+    run_p.add_argument("--issue-queue", default="base",
+                       choices=[p.value for p in IssueQueuePolicy])
+    run_p.add_argument("--alus", default="base",
+                       choices=[p.value for p in ALUPolicy])
+    run_p.add_argument("--mapping", default="priority",
+                       choices=[m.value for m in MappingKind])
+    run_p.add_argument("--rf-turnoff", action="store_true")
+    run_p.add_argument("--cycles", type=int, default=100_000)
+    run_p.add_argument("--seed", type=int, default=1)
+    run_p.set_defaults(func=_cmd_run)
+
+    fig_p = sub.add_parser("figure",
+                           help="reproduce one of the paper's figures")
+    fig_p.add_argument("number", choices=sorted(_EXPERIMENTS))
+    fig_p.add_argument("--benchmarks", default="",
+                       help="comma-separated subset (default: all 22)")
+    fig_p.add_argument("--cycles", type=int, default=100_000)
+    fig_p.add_argument("--seed", type=int, default=1)
+    fig_p.set_defaults(func=_cmd_figure)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""The paper's techniques: balancing utilization of back-end resources."""
+
+from .activity_toggle import ActivityToggler, ToggleStats
+from .dtm import DTMStats, ThermalManager
+from .fine_grain import FineGrainController, TurnoffStats
+from .mapping import (MappingKind, PortMapping, balanced_mapping,
+                      completely_balanced_mapping, make_mapping,
+                      priority_mapping)
+from .policies import (ALL_TECHNIQUES, BASELINE, ALUPolicy,
+                       IssueQueuePolicy, RegFilePolicy, TechniqueConfig)
+
+__all__ = [
+    "ALL_TECHNIQUES", "ALUPolicy", "ActivityToggler", "BASELINE",
+    "DTMStats", "FineGrainController", "IssueQueuePolicy", "MappingKind",
+    "PortMapping", "RegFilePolicy", "TechniqueConfig", "ThermalManager",
+    "ToggleStats", "TurnoffStats", "balanced_mapping",
+    "completely_balanced_mapping", "make_mapping", "priority_mapping",
+]

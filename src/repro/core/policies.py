@@ -1,0 +1,71 @@
+"""Policy surface for the three balancing techniques.
+
+A :class:`TechniqueConfig` names, for each back-end resource, which of
+the paper's policies the DTM controller applies:
+
+* issue queue — ``BASE`` (stall-on-overheat only) or
+  ``ACTIVITY_TOGGLING`` (paper §2.1),
+* ALUs — ``BASE``, ``FINE_GRAIN`` turnoff (paper §2.2), or the
+  idealized ``ROUND_ROBIN`` upper bound,
+* register file — a port :class:`~repro.core.mapping.MappingKind`
+  plus whether fine-grain copy turnoff is enabled (paper §2.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .mapping import MappingKind
+
+
+class IssueQueuePolicy(enum.Enum):
+    BASE = "base"
+    ACTIVITY_TOGGLING = "activity_toggling"
+
+
+class ALUPolicy(enum.Enum):
+    BASE = "base"
+    FINE_GRAIN = "fine_grain"
+    ROUND_ROBIN = "round_robin"
+
+
+@dataclass(frozen=True)
+class RegFilePolicy:
+    """Register-file configuration: port mapping + optional turnoff."""
+
+    mapping: MappingKind = MappingKind.PRIORITY
+    fine_grain_turnoff: bool = True
+
+    def label(self) -> str:
+        suffix = ("+ fine-grain turnoff" if self.fine_grain_turnoff
+                  else "only")
+        return f"{self.mapping.value}-mapping {suffix}"
+
+
+@dataclass(frozen=True)
+class TechniqueConfig:
+    """Full DTM technique selection for one simulation."""
+
+    issue_queue: IssueQueuePolicy = IssueQueuePolicy.BASE
+    alus: ALUPolicy = ALUPolicy.BASE
+    regfile: RegFilePolicy = field(default_factory=RegFilePolicy)
+
+    @property
+    def round_robin_alus(self) -> bool:
+        return self.alus is ALUPolicy.ROUND_ROBIN
+
+
+#: The paper's recommended configuration: all three techniques on.
+ALL_TECHNIQUES = TechniqueConfig(
+    issue_queue=IssueQueuePolicy.ACTIVITY_TOGGLING,
+    alus=ALUPolicy.FINE_GRAIN,
+    regfile=RegFilePolicy(MappingKind.PRIORITY, fine_grain_turnoff=True),
+)
+
+#: The conventional baseline: stall-on-overheat everywhere.
+BASELINE = TechniqueConfig(
+    issue_queue=IssueQueuePolicy.BASE,
+    alus=ALUPolicy.BASE,
+    regfile=RegFilePolicy(MappingKind.PRIORITY, fine_grain_turnoff=False),
+)

@@ -1,0 +1,24 @@
+"""Out-of-order pipeline substrate (SimpleScalar-like, from scratch)."""
+
+from .alu import FunctionalUnit, make_fp_adders, make_fp_multiplier, make_int_alus
+from .branch import GSharePredictor, TracePredictor
+from .caches import Cache, MemoryHierarchy
+from .config import CacheConfig, ProcessorConfig, ThermalConfig
+from .frontend import FetchUnit
+from .isa import MicroOp, OpClass, Program
+from .issue_queue import CompactingIssueQueue, IQEntry, QueueMode
+from .processor import ActivitySnapshot, Processor, ProcessorStats
+from .regfile import RegisterFileBank, RenameTable
+from .rob import ActiveList, LoadStoreQueue
+from .select import SelectNetwork, SelectTree
+
+__all__ = [
+    "ActivitySnapshot", "ActiveList", "Cache", "CacheConfig",
+    "CompactingIssueQueue", "FetchUnit", "FunctionalUnit",
+    "GSharePredictor", "IQEntry", "LoadStoreQueue", "MemoryHierarchy",
+    "MicroOp", "OpClass", "Processor", "ProcessorConfig",
+    "ProcessorStats", "Program", "QueueMode", "RegisterFileBank",
+    "RenameTable", "SelectNetwork", "SelectTree", "ThermalConfig",
+    "TracePredictor", "make_fp_adders", "make_fp_multiplier",
+    "make_int_alus",
+]

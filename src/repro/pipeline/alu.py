@@ -1,0 +1,124 @@
+"""Functional units (integer ALUs, FP adders, FP multiplier).
+
+The paper's processor has 6 integer ALUs (arithmetic + load/store +
+branch) and 4 FP adders; each is an individually modelled thermal block
+so that the static select priority produces the per-copy temperature
+ladder the paper reports (Table 5).  An ALU is a short occupancy
+pipeline: ALU ops, FP adds, and FP multiplies are fully pipelined
+(initiation interval 1, as in the EV6); the integer multiplier
+occupies its unit for its latency (non-pipelined).
+
+``busy`` is the fine-grain-turnoff hook: a busy unit refuses issue but
+keeps draining in-flight work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from .isa import MicroOp, OpClass
+
+#: Op classes the integer ALUs execute.
+INT_OPCLASSES: Set[OpClass] = {
+    OpClass.INT_ALU, OpClass.INT_MUL, OpClass.LOAD, OpClass.STORE,
+    OpClass.BRANCH, OpClass.NOP,
+}
+
+#: Op classes the FP adders execute.
+FP_ADD_OPCLASSES: Set[OpClass] = {OpClass.FP_ADD}
+
+#: Op classes the (single) FP multiplier executes.
+FP_MUL_OPCLASSES: Set[OpClass] = {OpClass.FP_MUL}
+
+
+@dataclass
+class ALUCounters:
+    """Cumulative per-unit activity."""
+
+    ops: int = 0
+    busy_cycles: int = 0
+    turnoff_events: int = 0
+
+
+@dataclass
+class _InFlight:
+    op: MicroOp
+    rob_index: int
+    finish_cycle: int
+
+
+class FunctionalUnit:
+    """One execution unit; also one thermal block."""
+
+    def __init__(self, index: int, opclasses: Set[OpClass],
+                 name: str) -> None:
+        self.index = index
+        self.opclasses = opclasses
+        self.name = name
+        self.busy = False  # fine-grain turnoff flag
+        self.counters = ALUCounters()
+        self._pipeline: List[_InFlight] = []
+        self._blocked_until = -1
+
+    def can_execute(self, opclass: OpClass) -> bool:
+        return opclass in self.opclasses
+
+    def can_accept(self, now: int) -> bool:
+        """Structurally free this cycle (ignores the turnoff flag —
+        the select network already filters on ``busy``)."""
+        return now >= self._blocked_until
+
+    def start(self, op: MicroOp, rob_index: int, now: int,
+              extra_latency: int = 0) -> int:
+        """Begin executing ``op``; returns its finish cycle.
+
+        ``extra_latency`` adds cache latency to loads.  Single-cycle
+        ops are pipelined; multi-cycle ops occupy the unit.
+        """
+        if not self.can_execute(op.opclass):
+            raise ValueError(f"{self.name} cannot execute {op.opclass}")
+        if not self.can_accept(now):
+            raise RuntimeError(f"{self.name} is occupied")
+        latency = op.latency + extra_latency
+        if op.opclass is OpClass.INT_MUL:
+            self._blocked_until = now + op.latency
+        finish = now + latency
+        self._pipeline.append(_InFlight(op, rob_index, finish))
+        self.counters.ops += 1
+        return finish
+
+    def drain(self, now: int) -> List[_InFlight]:
+        """Pop ops finishing at ``now`` (writeback stage)."""
+        done = [w for w in self._pipeline if w.finish_cycle <= now]
+        if done:
+            self._pipeline = [w for w in self._pipeline
+                              if w.finish_cycle > now]
+        return done
+
+    def in_flight(self) -> int:
+        return len(self._pipeline)
+
+    def set_busy(self, value: bool) -> None:
+        """Fine-grain turnoff: mark the unit busy so select skips it."""
+        if value and not self.busy:
+            self.counters.turnoff_events += 1
+        self.busy = value
+
+
+def make_int_alus(count: int) -> List[FunctionalUnit]:
+    """Build the statically prioritized integer ALU bank.
+
+    Index 0 is the highest select priority (the unit that heats first
+    under the conventional policy)."""
+    return [FunctionalUnit(i, INT_OPCLASSES, f"IntExec{i}")
+            for i in range(count)]
+
+
+def make_fp_adders(count: int) -> List[FunctionalUnit]:
+    return [FunctionalUnit(i, FP_ADD_OPCLASSES, f"FPAdd{i}")
+            for i in range(count)]
+
+
+def make_fp_multiplier() -> FunctionalUnit:
+    return FunctionalUnit(0, FP_MUL_OPCLASSES, "FPMul")

@@ -1,0 +1,90 @@
+"""Branch prediction substrate.
+
+Two predictors are provided:
+
+* :class:`GSharePredictor` — a classic gshare (global history XOR PC
+  indexing a table of 2-bit saturating counters) used when the pipeline
+  runs real :class:`~repro.pipeline.isa.Program` traces.
+* :class:`TracePredictor` — a pass-through used for synthetic SPEC2000
+  workloads, where the workload model already stamped each branch with
+  its mispredict outcome (the synthetic generator owns the mispredict
+  *rate*; this object just reports it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .isa import MicroOp, OpClass
+
+
+class BranchPredictor:
+    """Interface: decide whether a dynamic branch is mispredicted."""
+
+    def mispredicted(self, op: MicroOp, taken: bool) -> bool:
+        raise NotImplementedError
+
+    @property
+    def stats(self) -> "PredictorStats":
+        raise NotImplementedError
+
+
+@dataclass
+class PredictorStats:
+    branches: int = 0
+    mispredicts: int = 0
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.branches if self.branches else 0.0
+
+
+class GSharePredictor(BranchPredictor):
+    """Gshare: global history XORed with the PC indexes 2-bit counters."""
+
+    def __init__(self, history_bits: int = 12) -> None:
+        if not 1 <= history_bits <= 24:
+            raise ValueError("history_bits must be in [1, 24]")
+        self.history_bits = history_bits
+        self._mask = (1 << history_bits) - 1
+        self._history = 0
+        # 2-bit saturating counters, initialised weakly taken.
+        self._table = [2] * (1 << history_bits)
+        self._stats = PredictorStats()
+
+    def mispredicted(self, op: MicroOp, taken: bool) -> bool:
+        index = (op.pc ^ self._history) & self._mask
+        counter = self._table[index]
+        predicted_taken = counter >= 2
+        wrong = predicted_taken != taken
+        # Update counter and history with the actual outcome.
+        if taken:
+            self._table[index] = min(3, counter + 1)
+        else:
+            self._table[index] = max(0, counter - 1)
+        self._history = ((self._history << 1) | int(taken)) & self._mask
+        self._stats.branches += 1
+        self._stats.mispredicts += int(wrong)
+        return wrong
+
+    @property
+    def stats(self) -> PredictorStats:
+        return self._stats
+
+
+class TracePredictor(BranchPredictor):
+    """Report the mispredict outcome already stamped on the micro-op."""
+
+    def __init__(self) -> None:
+        self._stats = PredictorStats()
+
+    def mispredicted(self, op: MicroOp, taken: bool) -> bool:
+        if op.opclass is not OpClass.BRANCH:
+            raise ValueError("mispredicted() called on a non-branch op")
+        self._stats.branches += 1
+        self._stats.mispredicts += int(op.mispredicted)
+        return op.mispredicted
+
+    @property
+    def stats(self) -> PredictorStats:
+        return self._stats

@@ -1,0 +1,103 @@
+"""Front end: fetch from the trace, with branch-mispredict bubbles.
+
+The pipeline is trace driven, so the front end pulls micro-ops from an
+iterator into a fetch buffer at ``fetch_width`` per cycle.  Wrong-path
+instructions are not injected; instead, when a mispredicted branch is
+fetched, fetch blocks until the branch resolves in the backend plus the
+redirect penalty — the standard trace-driven treatment, which preserves
+the IPC effect of mispredicts while keeping squash logic out of the
+backend (documented deviation in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, List, Optional
+
+from .branch import BranchPredictor
+from .isa import MicroOp, OpClass
+
+
+class FetchUnit:
+    """Pulls micro-ops from a trace into a small fetch buffer."""
+
+    def __init__(self, trace: Iterator[MicroOp], fetch_width: int,
+                 predictor: BranchPredictor,
+                 mispredict_penalty: int,
+                 buffer_capacity: Optional[int] = None) -> None:
+        if fetch_width < 1:
+            raise ValueError("fetch_width must be positive")
+        self.trace = iter(trace)
+        self.fetch_width = fetch_width
+        self.predictor = predictor
+        self.mispredict_penalty = mispredict_penalty
+        self.buffer: Deque[MicroOp] = deque()
+        self.buffer_capacity = buffer_capacity or 2 * fetch_width
+        self.fetched = 0
+        self.exhausted = False
+        #: Sequence number of the unresolved mispredicted branch fetch
+        #: is blocked behind, or None.
+        self._blocking_branch: Optional[int] = None
+        #: Cycle at which fetch may resume after redirect, or None.
+        self._resume_at: Optional[int] = None
+        self._count_this_cycle = 0
+
+    @property
+    def blocked(self) -> bool:
+        return self._blocking_branch is not None or self._resume_at is not None
+
+    def fetch_cycle(self, now: int) -> None:
+        """Fetch up to ``fetch_width`` ops into the buffer."""
+        if self._resume_at is not None:
+            if now < self._resume_at:
+                return
+            self._resume_at = None
+        if self._blocking_branch is not None:
+            return
+        while (len(self.buffer) < self.buffer_capacity
+               and self._count_this_cycle < self.fetch_width):
+            op = self._next_op()
+            if op is None:
+                return
+            self.buffer.append(op)
+            self.fetched += 1
+            self._count_this_cycle += 1
+            if op.opclass is OpClass.BRANCH:
+                if self.predictor.mispredicted(op, taken=op.taken):
+                    op.mispredicted = True
+                    self._blocking_branch = op.seq
+                    return
+                op.mispredicted = False
+
+    def begin_cycle(self) -> None:
+        self._count_this_cycle = 0
+
+    def _next_op(self) -> Optional[MicroOp]:
+        try:
+            return next(self.trace)
+        except StopIteration:
+            self.exhausted = True
+            return None
+
+    def pop_ready(self, max_count: int) -> List[MicroOp]:
+        """Hand up to ``max_count`` buffered ops to dispatch."""
+        out: List[MicroOp] = []
+        while self.buffer and len(out) < max_count:
+            out.append(self.buffer.popleft())
+        return out
+
+    def unpop(self, ops: List[MicroOp]) -> None:
+        """Return ops dispatch could not place (structural stall)."""
+        for op in reversed(ops):
+            self.buffer.appendleft(op)
+
+    def branch_resolved(self, seq: int, now: int) -> None:
+        """Backend notification: branch ``seq`` executed at ``now``."""
+        if self._blocking_branch == seq:
+            self._blocking_branch = None
+            self._resume_at = now + self.mispredict_penalty
+
+    @property
+    def drained(self) -> bool:
+        """No more ops will ever come out of this front end."""
+        return self.exhausted and not self.buffer

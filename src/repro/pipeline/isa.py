@@ -1,0 +1,289 @@
+"""Micro-op definitions and a tiny assembly-level ISA.
+
+The timing pipeline in :mod:`repro.pipeline` is *trace driven*: it
+consumes a stream of :class:`MicroOp` records that carry everything the
+timing model needs (operation class, architectural registers, memory
+address, branch outcome).  Two producers exist:
+
+* :mod:`repro.workloads` synthesizes SPEC2000-like streams, and
+* :class:`Program` in this module functionally executes a tiny
+  register-machine assembly language and emits the corresponding trace,
+  mirroring SimpleScalar's functional/timing split.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+class OpClass(enum.Enum):
+    """Functional classes of micro-ops recognised by the pipeline."""
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    FP_ADD = "fp_add"
+    FP_MUL = "fp_mul"
+    NOP = "nop"
+
+    @property
+    def is_fp(self) -> bool:
+        return self in (OpClass.FP_ADD, OpClass.FP_MUL)
+
+    @property
+    def is_mem(self) -> bool:
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+
+#: Execution latency in cycles for each op class (pipelined unless noted).
+DEFAULT_LATENCY: Dict[OpClass, int] = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 3,
+    OpClass.LOAD: 1,  # address generation; cache latency added on top
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.FP_ADD: 2,
+    OpClass.FP_MUL: 4,
+    OpClass.NOP: 1,
+}
+
+#: Number of architectural integer / floating-point registers.
+NUM_INT_ARCH_REGS = 32
+NUM_FP_ARCH_REGS = 32
+
+
+@dataclass
+class MicroOp:
+    """One dynamic instruction as seen by the timing pipeline.
+
+    Register operands are architectural indices; integer and FP register
+    files are separate namespaces (the ``is_fp`` flag of the op class
+    disambiguates them for rename).  ``None`` operands are absent.
+    """
+
+    seq: int
+    opclass: OpClass
+    dst: Optional[int] = None
+    src1: Optional[int] = None
+    src2: Optional[int] = None
+    #: Effective address for loads and stores.
+    mem_addr: Optional[int] = None
+    #: For branches: actual direction outcome (program mode predictors).
+    taken: bool = False
+    #: For branches: whether the branch was mispredicted by the front end.
+    mispredicted: bool = False
+    #: Program counter, used by the branch predictor in program mode.
+    pc: int = 0
+
+    @property
+    def latency(self) -> int:
+        return DEFAULT_LATENCY[self.opclass]
+
+    def sources(self) -> Tuple[int, ...]:
+        """Architectural source registers, omitting absent operands."""
+        return tuple(s for s in (self.src1, self.src2) if s is not None)
+
+
+class AssemblyError(ValueError):
+    """Raised when a :class:`Program` source line cannot be parsed."""
+
+
+@dataclass
+class _Inst:
+    op: str
+    args: Tuple[str, ...]
+    line: int
+
+
+# Opcode -> (opclass, reads, writes_reg) metadata for the tiny ISA.
+_OPCODES = {
+    "add": OpClass.INT_ALU,
+    "sub": OpClass.INT_ALU,
+    "and": OpClass.INT_ALU,
+    "or": OpClass.INT_ALU,
+    "xor": OpClass.INT_ALU,
+    "slt": OpClass.INT_ALU,
+    "addi": OpClass.INT_ALU,
+    "mul": OpClass.INT_MUL,
+    "ld": OpClass.LOAD,
+    "st": OpClass.STORE,
+    "beq": OpClass.BRANCH,
+    "bne": OpClass.BRANCH,
+    "jmp": OpClass.BRANCH,
+    "fadd": OpClass.FP_ADD,
+    "fmul": OpClass.FP_MUL,
+    "nop": OpClass.NOP,
+    "halt": OpClass.NOP,
+}
+
+
+def _parse_reg(token: str, line: int) -> int:
+    token = token.strip().rstrip(",")
+    if not token or token[0] not in "rf":
+        raise AssemblyError(f"line {line}: expected register, got {token!r}")
+    try:
+        idx = int(token[1:])
+    except ValueError as exc:
+        raise AssemblyError(f"line {line}: bad register {token!r}") from exc
+    limit = NUM_FP_ARCH_REGS if token[0] == "f" else NUM_INT_ARCH_REGS
+    if not 0 <= idx < limit:
+        raise AssemblyError(f"line {line}: register {token!r} out of range")
+    return idx
+
+
+def _parse_imm(token: str, line: int) -> int:
+    try:
+        return int(token.strip().rstrip(","), 0)
+    except ValueError as exc:
+        raise AssemblyError(f"line {line}: bad immediate {token!r}") from exc
+
+
+class Program:
+    """A tiny assembly program with a functional interpreter.
+
+    The language is a small RISC subset over 32 integer registers
+    (``r0``..``r31``, with ``r0`` hard-wired to zero) and 32 FP registers
+    (``f0``..``f31``)::
+
+        loop:
+            ld   r2, r1, 0      # r2 = mem[r1 + 0]
+            addi r2, r2, 1
+            st   r2, r1, 0
+            addi r1, r1, 8
+            addi r3, r3, -1
+            bne  r3, r0, loop
+            halt
+
+    :meth:`run` interprets the program against a byte-addressed sparse
+    memory and yields :class:`MicroOp` records for the timing model.
+    """
+
+    def __init__(self, source: str) -> None:
+        self.labels: Dict[str, int] = {}
+        self.instructions: List[_Inst] = []
+        self._assemble(source)
+
+    def _assemble(self, source: str) -> None:
+        for lineno, raw in enumerate(source.splitlines(), start=1):
+            text = raw.split("#", 1)[0].strip()
+            if not text:
+                continue
+            while ":" in text:
+                label, _, text = text.partition(":")
+                label = label.strip()
+                if not label.isidentifier():
+                    raise AssemblyError(f"line {lineno}: bad label {label!r}")
+                if label in self.labels:
+                    raise AssemblyError(f"line {lineno}: duplicate label {label!r}")
+                self.labels[label] = len(self.instructions)
+                text = text.strip()
+            if not text:
+                continue
+            parts = text.replace(",", " ").split()
+            op, args = parts[0].lower(), tuple(parts[1:])
+            if op not in _OPCODES:
+                raise AssemblyError(f"line {lineno}: unknown opcode {op!r}")
+            self.instructions.append(_Inst(op, args, lineno))
+        if not self.instructions:
+            raise AssemblyError("empty program")
+
+    def run(
+        self,
+        registers: Optional[Dict[int, int]] = None,
+        memory: Optional[Dict[int, int]] = None,
+        max_ops: int = 1_000_000,
+    ) -> Iterator[MicroOp]:
+        """Functionally execute and yield the dynamic micro-op trace.
+
+        ``registers``/``memory`` seed the initial machine state and are
+        mutated in place so callers can inspect results after the run.
+        Raises :class:`RuntimeError` if ``max_ops`` is exceeded (runaway
+        loop protection).
+        """
+        regs = registers if registers is not None else {}
+        fregs: Dict[int, float] = {}
+        mem = memory if memory is not None else {}
+        pc = 0
+        seq = 0
+
+        def r(i: int) -> int:
+            return 0 if i == 0 else regs.get(i, 0)
+
+        while 0 <= pc < len(self.instructions):
+            if seq >= max_ops:
+                raise RuntimeError(f"program exceeded {max_ops} micro-ops")
+            inst = self.instructions[pc]
+            op, args, line = inst.op, inst.args, inst.line
+            opclass = _OPCODES[op]
+            next_pc = pc + 1
+            uop: MicroOp
+
+            if op == "halt":
+                return
+            if op == "nop":
+                uop = MicroOp(seq, OpClass.NOP, pc=pc)
+            elif op in ("add", "sub", "and", "or", "xor", "slt", "mul"):
+                d, a, b = (_parse_reg(t, line) for t in args[:3])
+                va, vb = r(a), r(b)
+                result = {
+                    "add": va + vb, "sub": va - vb, "and": va & vb,
+                    "or": va | vb, "xor": va ^ vb, "slt": int(va < vb),
+                    "mul": va * vb,
+                }[op]
+                if d != 0:
+                    regs[d] = result
+                uop = MicroOp(seq, opclass, dst=d, src1=a, src2=b, pc=pc)
+            elif op == "addi":
+                d, a = _parse_reg(args[0], line), _parse_reg(args[1], line)
+                imm = _parse_imm(args[2], line)
+                if d != 0:
+                    regs[d] = r(a) + imm
+                uop = MicroOp(seq, opclass, dst=d, src1=a, pc=pc)
+            elif op == "ld":
+                d, a = _parse_reg(args[0], line), _parse_reg(args[1], line)
+                imm = _parse_imm(args[2], line) if len(args) > 2 else 0
+                addr = r(a) + imm
+                if d != 0:
+                    regs[d] = mem.get(addr, 0)
+                uop = MicroOp(seq, opclass, dst=d, src1=a, mem_addr=addr, pc=pc)
+            elif op == "st":
+                v, a = _parse_reg(args[0], line), _parse_reg(args[1], line)
+                imm = _parse_imm(args[2], line) if len(args) > 2 else 0
+                addr = r(a) + imm
+                mem[addr] = r(v)
+                uop = MicroOp(seq, opclass, src1=v, src2=a, mem_addr=addr, pc=pc)
+            elif op in ("beq", "bne"):
+                a, b = _parse_reg(args[0], line), _parse_reg(args[1], line)
+                target = self._target(args[2], line)
+                taken = (r(a) == r(b)) if op == "beq" else (r(a) != r(b))
+                if taken:
+                    next_pc = target
+                uop = MicroOp(seq, opclass, src1=a, src2=b, pc=pc,
+                              taken=taken)
+            elif op == "jmp":
+                next_pc = self._target(args[0], line)
+                uop = MicroOp(seq, OpClass.BRANCH, pc=pc, taken=True)
+            elif op in ("fadd", "fmul"):
+                d, a, b = (_parse_reg(t, line) for t in args[:3])
+                va, vb = fregs.get(a, 0.0), fregs.get(b, 0.0)
+                fregs[d] = va + vb if op == "fadd" else va * vb
+                uop = MicroOp(seq, opclass, dst=d, src1=a, src2=b, pc=pc)
+            else:  # pragma: no cover - opcode table and dispatch agree
+                raise AssemblyError(f"line {line}: unhandled opcode {op!r}")
+
+            yield uop
+            seq += 1
+            pc = next_pc
+
+    def _target(self, token: str, line: int) -> int:
+        token = token.strip().rstrip(",")
+        if token in self.labels:
+            return self.labels[token]
+        try:
+            return int(token, 0)
+        except ValueError as exc:
+            raise AssemblyError(f"line {line}: unknown target {token!r}") from exc

@@ -1,0 +1,347 @@
+"""Compacting issue queue with two head/tail configurations (paper §2.1).
+
+The queue keeps un-issued instructions in priority order by *position*:
+the head holds the oldest (highest-priority) instruction and newly
+dispatched instructions enter at the tail.  When instructions issue and
+are removed, *compaction* shifts younger entries toward the head to
+defragment the queue, which is what makes the select logic simple — and
+what concentrates activity (and therefore heat) in the tail region,
+because a tail entry moves whenever *any* older instruction issues
+while a head entry moves only when instructions below it issue.
+
+Entries are stored in **physical** slot order.  A mode flag determines
+how physical slots map to logical priority positions:
+
+* ``QueueMode.NORMAL`` — head at physical slot 0, tail grows upward;
+  compaction shifts entries toward slot 0.  The upper physical half is
+  the high-activity tail region.
+* ``QueueMode.TOGGLED`` — head at physical slot ``n/2`` (the paper's
+  Figure 3): logical position ``l`` lives at physical slot
+  ``(l + n/2) mod n``.  Entries still compact toward lower physical
+  slots and wrap from slot 0 to slot ``n-1`` (charging the paper's
+  *long compaction* wire energy).  The lower physical half now holds
+  the newer instructions, so compaction activity moves there.
+
+Toggling the mode does **not** move any entries — exactly as in the
+hardware proposal, only the interpretation of positions (and the select
+root's priority) changes, so instruction priorities are transiently
+stale after a toggle until the affected instructions drain.
+
+Activity is reported through :class:`IssueQueueCounters` as raw event
+counts per physical half; :mod:`repro.power` converts counts to energy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Set, Tuple
+
+from .isa import MicroOp
+
+
+class QueueMode(enum.Enum):
+    """Head/tail configuration of the compacting queue."""
+
+    NORMAL = 0
+    TOGGLED = 1
+
+
+@dataclass
+class IQEntry:
+    """One occupied issue-queue slot."""
+
+    op: MicroOp
+    rob_index: int
+    #: Physical register tags this entry still waits on.
+    waiting_tags: Set[int]
+    #: Cycle at which the entry was granted issue, or None.
+    issued_at: Optional[int] = None
+
+    @property
+    def ready(self) -> bool:
+        return not self.waiting_tags and self.issued_at is None
+
+
+@dataclass
+class IssueQueueCounters:
+    """Cumulative activity counts, split per physical half where the
+    underlying wires live.  Index 0 is the lower physical half."""
+
+    #: Actual entry movements (defragmentation shifts).
+    compaction_moves: List[int] = field(default_factory=lambda: [0, 0])
+    #: Destination slots receiving a new value.
+    mux_selects: List[int] = field(default_factory=lambda: [0, 0])
+    #: Movements that crossed the physical wrap (long wires).
+    long_moves: List[int] = field(default_factory=lambda: [0, 0])
+    #: Entry-cycles with compaction logic enabled: a valid entry whose
+    #: clock gating cannot fire because an invalid entry sits below it
+    #: (the paper's gating rules 1 and 2).  Dynamic logic precharges
+    #: every such cycle, so this - not the move count - is what the
+    #: data/mux/counter energies multiply.
+    counter_evals: List[int] = field(default_factory=lambda: [0, 0])
+    broadcasts: int = 0
+    payload_ops: int = 0
+    select_grants: int = 0
+    inserts: int = 0
+    cycles: int = 0
+    toggles: int = 0
+    #: Sum of per-cycle occupancy (for windowed averages).
+    occupancy_sum: int = 0
+
+    def snapshot(self) -> "IssueQueueCounters":
+        return IssueQueueCounters(
+            list(self.compaction_moves), list(self.mux_selects),
+            list(self.long_moves), list(self.counter_evals),
+            self.broadcasts, self.payload_ops, self.select_grants,
+            self.inserts, self.cycles, self.toggles,
+            self.occupancy_sum,
+        )
+
+
+class CompactingIssueQueue:
+    """A compacting issue queue with activity-toggling support."""
+
+    def __init__(self, n_entries: int, compact_width: int,
+                 replay_window: int = 2) -> None:
+        if n_entries < 4 or n_entries % 2:
+            raise ValueError("queue needs an even entry count >= 4")
+        if compact_width < 1:
+            raise ValueError("compact_width must be >= 1")
+        self.n_entries = n_entries
+        self.mid = n_entries // 2
+        self.compact_width = compact_width
+        self.replay_window = replay_window
+        self.mode = QueueMode.NORMAL
+        self.slots: List[Optional[IQEntry]] = [None] * n_entries
+        self.counters = IssueQueueCounters()
+        self._now = 0
+        #: logical position -> physical slot, for the current mode.
+        self._order: List[int] = list(range(n_entries))
+        #: logical position one past the youngest entry (the tail).
+        self._top = 0
+        #: number of empty slots at logical positions below the tail.
+        self._holes = 0
+        #: entries granted issue but not yet drained from the queue.
+        self._pending_removal: List[IQEntry] = []
+
+    # ------------------------------------------------------------------
+    # position mapping
+    # ------------------------------------------------------------------
+    def phys(self, logical: int) -> int:
+        """Physical slot index of logical priority position ``logical``."""
+        if not 0 <= logical < self.n_entries:
+            raise IndexError(logical)
+        return self._order[logical]
+
+    def logical(self, phys: int) -> int:
+        """Logical priority position of physical slot ``phys``."""
+        if not 0 <= phys < self.n_entries:
+            raise IndexError(phys)
+        if self.mode is QueueMode.NORMAL:
+            return phys
+        return (phys - self.mid) % self.n_entries
+
+    def half_of(self, phys: int) -> int:
+        """Physical half (0 = lower) holding physical slot ``phys``."""
+        return 0 if phys < self.mid else 1
+
+    def _rebuild_order(self) -> None:
+        if self.mode is QueueMode.NORMAL:
+            self._order = list(range(self.n_entries))
+        else:
+            self._order = [(l + self.mid) % self.n_entries
+                           for l in range(self.n_entries)]
+        # Recompute tail and holes for the new logical geometry.
+        top = 0
+        occupied = 0
+        for logical in range(self.n_entries):
+            if self.slots[self._order[logical]] is not None:
+                top = logical + 1
+                occupied += 1
+        self._top = top
+        self._holes = top - occupied
+
+    # ------------------------------------------------------------------
+    # occupancy
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._top - self._holes
+
+    def entries(self) -> Iterator[Tuple[int, IQEntry]]:
+        """Yield ``(logical_position, entry)`` in priority order."""
+        order, slots = self._order, self.slots
+        for logical in range(self._top):
+            entry = slots[order[logical]]
+            if entry is not None:
+                yield logical, entry
+
+    def can_insert(self, count: int = 1) -> bool:
+        """Whether ``count`` instructions can dispatch this cycle.
+
+        Dispatch inserts strictly at the tail; holes below the tail are
+        unusable until compaction reclaims them, so a fragmented queue
+        can refuse inserts even when not full — matching hardware.
+        """
+        return self._top + count <= self.n_entries
+
+    def insert(self, op: MicroOp, rob_index: int,
+               waiting_tags: Set[int]) -> IQEntry:
+        """Dispatch one instruction at the tail.
+
+        Raises :class:`RuntimeError` when the tail has reached the end
+        of the queue (callers gate on :meth:`can_insert`).
+        """
+        if self._top >= self.n_entries:
+            raise RuntimeError("issue queue tail at capacity")
+        entry = IQEntry(op=op, rob_index=rob_index,
+                        waiting_tags=set(waiting_tags))
+        self.slots[self._order[self._top]] = entry
+        self._top += 1
+        self.counters.inserts += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # wakeup / select interface
+    # ------------------------------------------------------------------
+    def wakeup(self, tag: int) -> None:
+        """Broadcast a completing physical-register tag to all entries."""
+        self.counters.broadcasts += 1
+        order, slots = self._order, self.slots
+        for logical in range(self._top):
+            entry = slots[order[logical]]
+            if entry is not None and entry.waiting_tags:
+                entry.waiting_tags.discard(tag)
+
+    def request_vector(self) -> List[bool]:
+        """Per-physical-slot issue requests (select-tree input)."""
+        return [entry is not None and entry.ready for entry in self.slots]
+
+    def ready_physical_in_priority(self) -> List[int]:
+        """Physical slots with requesting entries, priority order.
+
+        This is what the serialized select trees compute collectively:
+        tree ``k`` grants the ``k``-th element (see
+        :mod:`repro.pipeline.select` for the equivalence argument).
+        """
+        order, slots = self._order, self.slots
+        out = []
+        for logical in range(self._top):
+            phys = order[logical]
+            entry = slots[phys]
+            if (entry is not None and entry.issued_at is None
+                    and not entry.waiting_tags):
+                out.append(phys)
+        return out
+
+    def grant(self, phys: int) -> IQEntry:
+        """Select granted physical slot ``phys``; returns the entry."""
+        entry = self.slots[phys]
+        if entry is None or not entry.ready:
+            raise RuntimeError(f"grant to non-requesting slot {phys}")
+        entry.issued_at = self._now
+        self._pending_removal.append(entry)
+        self.counters.select_grants += 1
+        self.counters.payload_ops += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # per-cycle maintenance
+    # ------------------------------------------------------------------
+    def tick(self) -> None:
+        """Advance one cycle: retire replay-safe issued entries and
+        compact, charging activity to the physical halves involved.
+
+        An entry is *marked invalid* the moment it issues (it lingers
+        for the replay window before its slot is reclaimed), so the
+        per-cycle gating charge applies from the issue cycle onward.
+        """
+        self._now += 1
+        self.counters.cycles += 1
+        self.counters.occupancy_sum += self._top - self._holes
+        if self._holes == 0 and not self._pending_removal:
+            return  # fully compacted, nothing marked invalid: all gated
+        self._compact()
+
+    def _compact(self) -> None:
+        window = self.replay_window
+        now = self._now
+        order, slots = self._order, self.slots
+        counters = self.counters
+        n = self.n_entries
+        mid = self.mid
+        toggled = self.mode is QueueMode.TOGGLED
+        boundary = n - mid  # logical position living at physical slot 0
+        new_slots: List[Optional[IQEntry]] = [None] * n
+        #: slots reclaimable this cycle (holes + replay-safe entries).
+        reclaimable_below = 0
+        #: invalid-marked slots (holes + every issued entry): these
+        #: defeat the clock gating of every entry above them.
+        marked_below = 0
+        top = 0
+        occupied = 0
+        removed = False
+        for logical in range(self._top):
+            src_phys = order[logical]
+            entry = slots[src_phys]
+            if entry is None:
+                reclaimable_below += 1
+                marked_below += 1
+                continue
+            issued = entry.issued_at is not None
+            if issued and now - entry.issued_at >= window:
+                reclaimable_below += 1
+                marked_below += 1
+                removed = True
+                continue
+            src_half = 0 if src_phys < mid else 1
+            if marked_below:
+                # Gating rules 1 and 2: an invalid entry below means
+                # this entry's data lines, mux selects, and counter
+                # stages all evaluate this cycle.
+                counters.counter_evals[src_half] += 1
+            shift = reclaimable_below
+            if shift > self.compact_width:
+                shift = self.compact_width
+            dst_logical = logical - shift
+            dst_phys = order[dst_logical]
+            new_slots[dst_phys] = entry
+            top = dst_logical + 1
+            occupied += 1
+            if issued:
+                marked_below += 1  # marked invalid while awaiting replay
+            if shift:
+                dst_half = 0 if dst_phys < mid else 1
+                counters.compaction_moves[src_half] += 1
+                counters.mux_selects[dst_half] += 1
+                if toggled and logical >= boundary > dst_logical:
+                    counters.long_moves[src_half] += 1
+        self.slots = new_slots
+        self._top = top
+        self._holes = top - occupied
+        if removed:
+            self._pending_removal = [
+                e for e in self._pending_removal
+                if now - e.issued_at < window]
+
+    # ------------------------------------------------------------------
+    # activity toggling (the paper's technique)
+    # ------------------------------------------------------------------
+    def toggle(self) -> None:
+        """Switch head/tail configuration without moving entries."""
+        self.mode = (QueueMode.TOGGLED if self.mode is QueueMode.NORMAL
+                     else QueueMode.NORMAL)
+        self.counters.toggles += 1
+        self._rebuild_order()
+
+    def flush(self) -> None:
+        """Drop all entries (pipeline squash)."""
+        self.slots = [None] * self.n_entries
+        self._pending_removal = []
+        self._top = 0
+        self._holes = 0
+
+    def occupancy_by_half(self) -> Tuple[int, int]:
+        """Number of occupied slots in each physical half."""
+        low = sum(1 for p in range(self.mid) if self.slots[p] is not None)
+        return low, len(self) - low

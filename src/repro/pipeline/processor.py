@@ -1,0 +1,378 @@
+"""The out-of-order processor: ties every substrate into a cycle loop.
+
+Stage order within :meth:`Processor.step` (one call = one cycle):
+
+1. commit       — retire completed active-list head entries
+2. writeback    — drain functional units, wake dependants, resolve branches
+3. issue        — select-network arbitration, register reads, unit start
+4. queue tick   — issue-queue compaction (the activity the paper studies)
+5. dispatch     — rename and insert fetched ops into queues / ROB / LSQ
+6. fetch        — pull from the trace
+
+Dynamic thermal management never lives here: the processor only exposes
+the mechanisms (global stall, per-unit busy flags, queue toggle,
+register-file copy turnoff) that :mod:`repro.core.dtm` drives from
+temperature sensors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set
+
+from ..core.mapping import PortMapping, priority_mapping
+from .alu import (FP_ADD_OPCLASSES, FP_MUL_OPCLASSES, INT_OPCLASSES,
+                  FunctionalUnit, make_fp_adders, make_fp_multiplier,
+                  make_int_alus)
+from .branch import BranchPredictor, TracePredictor
+from .caches import MemoryHierarchy
+from .config import ProcessorConfig
+from .frontend import FetchUnit
+from .isa import NUM_INT_ARCH_REGS, MicroOp, OpClass
+from .issue_queue import CompactingIssueQueue, IQEntry
+from .regfile import RegisterFileBank, RenameTable
+from .rob import ActiveList, LoadStoreQueue, ROBEntry
+from .select import SelectNetwork
+
+#: Rename-table row offset for FP architectural registers.
+FP_RENAME_OFFSET = NUM_INT_ARCH_REGS
+
+
+@dataclass
+class ProcessorStats:
+    """Aggregate run statistics."""
+
+    cycles: int = 0
+    committed: int = 0
+    stall_cycles: int = 0
+    throttled_cycles: int = 0
+    issued: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+
+@dataclass
+class ActivitySnapshot:
+    """Cumulative activity counts for the power model (one point in
+    time; the accountant diffs consecutive snapshots)."""
+
+    cycles: int
+    committed: int
+    int_iq: "object"
+    fp_iq: "object"
+    alu_ops: List[int]
+    fp_add_ops: List[int]
+    fp_mul_ops: int
+    rf_reads: List[int]
+    rf_writes: List[int]
+    fp_reg_accesses: int
+    l1d_accesses: int
+    l2_accesses: int
+    fetched: int
+
+
+class Processor:
+    """A 6-wide out-of-order core running a micro-op trace."""
+
+    def __init__(self, trace: Iterator[MicroOp],
+                 config: Optional[ProcessorConfig] = None,
+                 mapping: Optional[PortMapping] = None,
+                 predictor: Optional[BranchPredictor] = None,
+                 round_robin_alus: bool = False) -> None:
+        self.config = config or ProcessorConfig()
+        cfg = self.config
+        self.mapping = mapping or priority_mapping(
+            cfg.num_int_alus, cfg.num_regfile_copies)
+        if self.mapping.n_alus != cfg.num_int_alus:
+            raise ValueError("mapping ALU count disagrees with config")
+
+        self.now = 0
+        self.stats = ProcessorStats()
+        self.stalled_until = 0
+        self.throttled_until = 0
+
+        self.fetch = FetchUnit(trace, cfg.fetch_width,
+                               predictor or TracePredictor(),
+                               cfg.branch_mispredict_penalty)
+        self.rename = RenameTable(2 * NUM_INT_ARCH_REGS,
+                                  cfg.num_physical_regs)
+        self.rob = ActiveList(cfg.active_list_entries)
+        self.lsq = LoadStoreQueue(cfg.lsq_entries)
+        self.memory = MemoryHierarchy(cfg)
+
+        self.int_iq = CompactingIssueQueue(cfg.int_queue_entries,
+                                           cfg.issue_width,
+                                           replay_window=cfg.replay_window)
+        self.fp_iq = CompactingIssueQueue(cfg.fp_queue_entries,
+                                          cfg.issue_width,
+                                          replay_window=cfg.replay_window)
+        self.int_alus = make_int_alus(cfg.num_int_alus)
+        self.fp_adders = make_fp_adders(cfg.num_fp_adders)
+        self.fp_mul = make_fp_multiplier()
+        self.int_select = SelectNetwork(cfg.int_queue_entries,
+                                        cfg.num_int_alus,
+                                        round_robin=round_robin_alus)
+        self.fp_add_select = SelectNetwork(cfg.fp_queue_entries,
+                                           cfg.num_fp_adders,
+                                           round_robin=round_robin_alus)
+        self.fp_mul_select = SelectNetwork(cfg.fp_queue_entries, 1)
+        self.regfile = RegisterFileBank(self.mapping)
+        self._all_units = [*self.int_alus, *self.fp_adders, self.fp_mul]
+        self.fp_reg_accesses = 0
+
+    # ------------------------------------------------------------------
+    # DTM mechanism hooks
+    # ------------------------------------------------------------------
+    def global_stall(self, cycles: int) -> None:
+        """Halt the whole core (temporal technique: cool-down stall)."""
+        if cycles < 0:
+            raise ValueError("stall length must be non-negative")
+        self.stalled_until = max(self.stalled_until, self.now + cycles)
+
+    @property
+    def is_stalled(self) -> bool:
+        return self.now < self.stalled_until
+
+    def throttle(self, cycles: int) -> None:
+        """Duty-cycle throttling: gate fetch/dispatch/issue on alternate
+        cycles for ``cycles`` cycles (a gentler temporal technique than
+        the full stall — the core keeps half its throughput)."""
+        if cycles < 0:
+            raise ValueError("throttle length must be non-negative")
+        self.throttled_until = max(self.throttled_until,
+                                   self.now + cycles)
+
+    @property
+    def is_throttled(self) -> bool:
+        return self.now < self.throttled_until
+
+    def set_alu_busy(self, index: int, value: bool) -> None:
+        """Fine-grain turnoff flag for integer ALU ``index``."""
+        self.int_alus[index].set_busy(value)
+
+    def set_fp_adder_busy(self, index: int, value: bool) -> None:
+        self.fp_adders[index].set_busy(value)
+
+    def toggle_issue_queues(self) -> None:
+        """Activity toggling: flip head/tail mode of both queues."""
+        self.int_iq.toggle()
+        self.fp_iq.toggle()
+
+    def turn_off_regfile_copy(self, copy: int) -> None:
+        for alu in self.regfile.turn_off(copy):
+            self.int_alus[alu].set_busy(True)
+
+    def turn_on_regfile_copy(self, copy: int) -> None:
+        self.regfile.turn_on(copy)
+        blocked = self.regfile.blocked_alus()
+        for alu in self.mapping.alus_on_copy(copy):
+            if alu not in blocked:
+                self.int_alus[alu].set_busy(False)
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance one cycle."""
+        self.now += 1
+        self.stats.cycles += 1
+        if self.is_stalled:
+            self.stats.stall_cycles += 1
+            return
+        self._commit()
+        self._writeback()
+        for unit in self._all_units:
+            if unit.busy:
+                unit.counters.busy_cycles += 1
+        if self.is_throttled and self.now % 2:
+            self.stats.throttled_cycles += 1
+            return  # gated cycle: in-flight work drained, nothing new
+        self._issue()
+        self.int_iq.tick()
+        self.fp_iq.tick()
+        self._dispatch()
+        self.fetch.begin_cycle()
+        self.fetch.fetch_cycle(self.now)
+
+    def run(self, max_cycles: int,
+            on_sample=None, sample_interval: int = 0) -> ProcessorStats:
+        """Run for up to ``max_cycles`` or until the trace drains.
+
+        ``on_sample(processor)`` fires every ``sample_interval`` cycles
+        (the thermal sensing hook).
+        """
+        for _ in range(max_cycles):
+            self.step()
+            if (sample_interval and on_sample is not None
+                    and self.now % sample_interval == 0):
+                on_sample(self)
+            if self.finished:
+                break
+        return self.stats
+
+    @property
+    def finished(self) -> bool:
+        return (self.fetch.drained and len(self.rob) == 0)
+
+    # ------------------------------------------------------------------
+    # stages
+    # ------------------------------------------------------------------
+    def _commit(self) -> None:
+        ready = self.rob.commit_ready()
+        n = min(len(ready), self.config.commit_width)
+        if not n:
+            return
+        for entry in self.rob.retire(n):
+            op = entry.op
+            if op.opclass is OpClass.STORE and op.mem_addr is not None:
+                self.memory.store(op.mem_addr)
+            if LoadStoreQueue.needs_entry(op):
+                self.lsq.release()
+            self.rename.release(entry.freed_tag)
+            self.stats.committed += 1
+
+    def _writeback(self) -> None:
+        for unit in self._all_units:
+            if not unit._pipeline:
+                continue
+            for done in unit.drain(self.now):
+                op = done.op
+                self.rob.mark_done(done.rob_index)
+                if op.opclass is OpClass.BRANCH:
+                    self.fetch.branch_resolved(op.seq, self.now)
+                tag = self.rob.get(done.rob_index).dst_tag
+                if tag is not None:
+                    self.rename.mark_ready(tag)
+                    self.int_iq.wakeup(tag)
+                    self.fp_iq.wakeup(tag)
+                    if op.opclass.is_fp:
+                        self.fp_reg_accesses += 1
+                    else:
+                        self.regfile.write()
+
+    def _issue(self) -> None:
+        budget = self.config.issue_width
+        if len(self.int_iq):
+            budget -= self._issue_int(budget)
+        if budget > 0 and len(self.fp_iq):
+            self._issue_fp(budget)
+
+    def _issue_int(self, budget: int) -> int:
+        busy = []
+        blocked = self.regfile.blocked_alus()
+        for i, alu in enumerate(self.int_alus):
+            busy.append(alu.busy or i in blocked
+                        or not alu.can_accept(self.now))
+        grants = self.int_select.arbitrate(
+            self.int_iq, busy,
+            eligible=self._int_slot_eligible, limit=budget)
+        issued = 0
+        for alu_index, phys in enumerate(grants):
+            if phys is None:
+                continue
+            entry = self.int_iq.grant(phys)
+            extra = 0
+            op = entry.op
+            if op.opclass is OpClass.LOAD and op.mem_addr is not None:
+                extra = self.memory.load_latency(op.mem_addr)
+            self.regfile.read_for_issue(alu_index, len(op.sources()))
+            self.int_alus[alu_index].start(op, entry.rob_index, self.now,
+                                           extra_latency=extra)
+            self.rob.get(entry.rob_index).issued = True
+            self.stats.issued += 1
+            issued += 1
+        return issued
+
+    def _int_slot_eligible(self, phys: int) -> bool:
+        entry = self.int_iq.slots[phys]
+        return entry is not None and entry.op.opclass in INT_OPCLASSES
+
+    def _issue_fp(self, budget: int) -> int:
+        issued = 0
+        busy_add = [u.busy or not u.can_accept(self.now)
+                    for u in self.fp_adders]
+        grants = self.fp_add_select.arbitrate(
+            self.fp_iq, busy_add,
+            eligible=lambda p: self._fp_slot_eligible(p, FP_ADD_OPCLASSES),
+            limit=budget)
+        for unit_index, phys in enumerate(grants):
+            if phys is None:
+                continue
+            entry = self.fp_iq.grant(phys)
+            self.fp_reg_accesses += len(entry.op.sources())
+            self.fp_adders[unit_index].start(entry.op, entry.rob_index,
+                                             self.now)
+            self.rob.get(entry.rob_index).issued = True
+            self.stats.issued += 1
+            issued += 1
+        if issued < budget:
+            busy_mul = [self.fp_mul.busy
+                        or not self.fp_mul.can_accept(self.now)]
+            grants = self.fp_mul_select.arbitrate(
+                self.fp_iq, busy_mul,
+                eligible=lambda p: self._fp_slot_eligible(
+                    p, FP_MUL_OPCLASSES))
+            if grants[0] is not None:
+                entry = self.fp_iq.grant(grants[0])
+                self.fp_reg_accesses += len(entry.op.sources())
+                self.fp_mul.start(entry.op, entry.rob_index, self.now)
+                self.rob.get(entry.rob_index).issued = True
+                self.stats.issued += 1
+                issued += 1
+        return issued
+
+    def _fp_slot_eligible(self, phys: int, opclasses) -> bool:
+        entry = self.fp_iq.slots[phys]
+        return entry is not None and entry.op.opclass in opclasses
+
+    def _dispatch(self) -> None:
+        width = self.config.issue_width
+        ops = self.fetch.pop_ready(width)
+        not_placed: List[MicroOp] = []
+        for i, op in enumerate(ops):
+            if not self._try_dispatch(op):
+                not_placed = ops[i:]
+                break
+        if not_placed:
+            self.fetch.unpop(not_placed)
+
+    def _try_dispatch(self, op: MicroOp) -> bool:
+        queue = self.fp_iq if op.opclass.is_fp else self.int_iq
+        if self.rob.full or not queue.can_insert():
+            return False
+        if LoadStoreQueue.needs_entry(op) and self.lsq.full:
+            return False
+        if op.dst is not None and self.rename.free_count() == 0:
+            return False
+        renamed = self.rename.rename(op, fp_offset=FP_RENAME_OFFSET)
+        rob_index = self.rob.allocate(ROBEntry(
+            op=op, dst_tag=renamed.dst_tag, freed_tag=renamed.freed_tag))
+        if LoadStoreQueue.needs_entry(op):
+            self.lsq.allocate()
+        waiting = {t for t in renamed.src_tags
+                   if not self.rename.is_ready(t)}
+        queue.insert(op, rob_index, waiting)
+        return True
+
+    # ------------------------------------------------------------------
+    # power-model interface
+    # ------------------------------------------------------------------
+    def activity_snapshot(self) -> ActivitySnapshot:
+        """Cumulative activity counters for the power accountant."""
+        return ActivitySnapshot(
+            cycles=self.stats.cycles,
+            committed=self.stats.committed,
+            int_iq=self.int_iq.counters.snapshot(),
+            fp_iq=self.fp_iq.counters.snapshot(),
+            alu_ops=[u.counters.ops for u in self.int_alus],
+            fp_add_ops=[u.counters.ops for u in self.fp_adders],
+            fp_mul_ops=self.fp_mul.counters.ops,
+            rf_reads=list(self.regfile.counters.reads),
+            rf_writes=list(self.regfile.counters.writes),
+            fp_reg_accesses=self.fp_reg_accesses,
+            l1d_accesses=self.memory.l1d.stats.accesses,
+            l2_accesses=self.memory.l2.stats.accesses,
+            fetched=self.fetch.fetched,
+        )

@@ -1,0 +1,169 @@
+"""Register-file copies, rename, and the physical register file.
+
+Two structures live here:
+
+* :class:`RenameTable` — architectural-to-physical register rename with
+  a free list, providing the wakeup tags the issue queue waits on.
+* :class:`RegisterFileBank` — the replicated integer register file the
+  paper studies.  Each copy is its own thermal block; reads route
+  through the hard-wired :class:`~repro.core.mapping.PortMapping`
+  while writes go to **all** copies (values must be coherent across
+  copies, paper §2.3).  Fine-grain turnoff disables reads from a hot
+  copy by marking its mapped ALUs busy; writes continue during cooling
+  (the paper's first stale-copy solution: the turnoff threshold sits
+  slightly below the critical threshold, and a cooling copy seeing only
+  writes receives about a third of its normal accesses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.mapping import PortMapping
+from .isa import MicroOp
+
+
+class RenameError(RuntimeError):
+    """Raised when rename runs out of physical registers."""
+
+
+@dataclass
+class RenamedOp:
+    """Operand tags produced by rename for one micro-op."""
+
+    dst_tag: Optional[int]
+    src_tags: Tuple[int, ...]
+    freed_tag: Optional[int]
+
+
+class RenameTable:
+    """Map table + free list over a unified physical register file.
+
+    Integer and FP architectural registers occupy disjoint rows of the
+    map table (FP rows are offset), sharing one physical register pool
+    for simplicity.
+    """
+
+    def __init__(self, n_arch_regs: int, n_physical: int) -> None:
+        if n_physical < 2 * n_arch_regs:
+            raise ValueError("physical register file too small")
+        self.n_arch = n_arch_regs
+        self._map: List[int] = list(range(n_arch_regs))
+        self._free: List[int] = list(range(n_arch_regs, n_physical))
+        self._ready: Set[int] = set(range(n_arch_regs))
+
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def lookup(self, arch: int) -> int:
+        return self._map[arch]
+
+    def is_ready(self, tag: int) -> bool:
+        return tag in self._ready
+
+    def rename(self, op: MicroOp, fp_offset: int = 0) -> RenamedOp:
+        """Rename one op; returns its tags.
+
+        The previous mapping of the destination becomes ``freed_tag``
+        and is released when the op commits.  Raises
+        :class:`RenameError` when the free list is empty.
+        """
+        offset = fp_offset if op.opclass.is_fp else 0
+        src_tags = tuple(self._map[offset + s] for s in op.sources())
+        dst_tag = None
+        freed = None
+        if op.dst is not None:
+            if not self._free:
+                raise RenameError("out of physical registers")
+            dst_tag = self._free.pop()
+            freed = self._map[offset + op.dst]
+            self._map[offset + op.dst] = dst_tag
+            self._ready.discard(dst_tag)
+        return RenamedOp(dst_tag=dst_tag, src_tags=src_tags, freed_tag=freed)
+
+    def mark_ready(self, tag: int) -> None:
+        self._ready.add(tag)
+
+    def release(self, tag: Optional[int]) -> None:
+        """Return a physical register to the free list (at commit)."""
+        if tag is None:
+            return
+        if tag in self._free:
+            raise ValueError(f"double release of physical register {tag}")
+        self._free.append(tag)
+        self._ready.discard(tag)
+
+
+@dataclass
+class RegFileCounters:
+    """Cumulative accesses per register-file copy."""
+
+    reads: List[int] = field(default_factory=list)
+    writes: List[int] = field(default_factory=list)
+
+
+class RegisterFileBank:
+    """Replicated integer register file with hard-wired read ports."""
+
+    def __init__(self, mapping: PortMapping) -> None:
+        self.mapping = mapping
+        self.n_copies = mapping.n_copies
+        self.counters = RegFileCounters(
+            reads=[0] * self.n_copies, writes=[0] * self.n_copies)
+        self._off: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # access accounting
+    # ------------------------------------------------------------------
+    def read_for_issue(self, alu: int, n_operands: int) -> None:
+        """Charge the read-port accesses for issuing to ALU ``alu``.
+
+        Each operand uses one of the ALU's two hard-wired ports; with
+        one operand only the first port fires.
+        """
+        if not 0 <= n_operands <= 2:
+            raise ValueError("ops read zero, one, or two registers")
+        ports = self.mapping.copies_for(alu)
+        for port in range(n_operands):
+            copy = ports[port]
+            if copy in self._off:
+                raise RuntimeError(
+                    f"read from turned-off register-file copy {copy}; "
+                    f"ALU {alu} should have been marked busy")
+            self.counters.reads[copy] += 1
+
+    def write(self) -> None:
+        """Charge one register write to every copy (values are
+        replicated; a cooling copy still accepts writes)."""
+        for copy in range(self.n_copies):
+            self.counters.writes[copy] += 1
+
+    # ------------------------------------------------------------------
+    # fine-grain turnoff
+    # ------------------------------------------------------------------
+    def turn_off(self, copy: int) -> List[int]:
+        """Disable reads from ``copy``; returns the ALUs to mark busy."""
+        if not 0 <= copy < self.n_copies:
+            raise IndexError(copy)
+        self._off.add(copy)
+        return self.mapping.alus_on_copy(copy)
+
+    def turn_on(self, copy: int) -> List[int]:
+        """Re-enable ``copy``; returns the ALUs that may unblock
+        (callers must check their other port's copy too)."""
+        self._off.discard(copy)
+        return self.mapping.alus_on_copy(copy)
+
+    def is_off(self, copy: int) -> bool:
+        return copy in self._off
+
+    def all_off(self) -> bool:
+        return len(self._off) == self.n_copies
+
+    def blocked_alus(self) -> Set[int]:
+        """ALUs unusable because one of their port copies is off."""
+        blocked: Set[int] = set()
+        for copy in self._off:
+            blocked.update(self.mapping.alus_on_copy(copy))
+        return blocked

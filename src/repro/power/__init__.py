@@ -1,0 +1,7 @@
+"""Wattch-like event-energy power model."""
+
+from .accounting import PowerAccountant
+from .energy import DEFAULT_ENERGY_MODEL, EnergyModel, IssueQueueEnergies
+
+__all__ = ["DEFAULT_ENERGY_MODEL", "EnergyModel", "IssueQueueEnergies",
+           "PowerAccountant"]

@@ -1,0 +1,9 @@
+"""Simulation harness: full-system runs and pre-canned experiments."""
+
+from .results import (SimulationResult, format_table,
+                      geometric_mean_speedup, mean_speedup, speedup)
+from .runner import DEFAULT_MAX_CYCLES, SimulationConfig, Simulator, run_simulation
+
+__all__ = ["DEFAULT_MAX_CYCLES", "SimulationConfig", "SimulationResult",
+           "Simulator", "format_table", "geometric_mean_speedup",
+           "mean_speedup", "run_simulation", "speedup"]

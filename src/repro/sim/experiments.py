@@ -1,0 +1,333 @@
+"""Pre-canned experiments: one function per paper table / figure.
+
+Each experiment function runs the relevant benchmark x technique grid
+and returns a typed result object with the same rows/series the paper
+reports, plus a ``format()`` method producing the text table the bench
+harness prints.  See DESIGN.md §4 for the experiment index.
+
+All experiments accept ``benchmarks`` and ``max_cycles`` so the test
+suite can run miniature versions of the same code paths the full bench
+harness exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.mapping import MappingKind
+from ..core.policies import (ALUPolicy, IssueQueuePolicy, RegFilePolicy,
+                             TechniqueConfig)
+from ..thermal.floorplan import (FP_QUEUE_BLOCKS, INT_ALU_BLOCKS,
+                                 INT_QUEUE_BLOCKS, INT_REG_BLOCKS,
+                                 FloorplanVariant)
+from ..workloads.spec2000 import BENCHMARK_NAMES
+from .results import SimulationResult, format_table, mean_speedup
+from .runner import SimulationConfig, run_simulation
+
+#: Stall fraction above which a run counts as "constrained by" the
+#: study's resource (used for the paper's per-category averages).
+CONSTRAINED_STALL_FRACTION = 0.02
+
+
+def _run(benchmark: str, variant: FloorplanVariant,
+         techniques: TechniqueConfig, label: str,
+         max_cycles: int, seed: int) -> SimulationResult:
+    config = SimulationConfig(
+        benchmark=benchmark, variant=variant, techniques=techniques,
+        max_cycles=max_cycles, seed=seed, technique_label=label)
+    return run_simulation(config)
+
+
+def _constrained(baseline: SimulationResult) -> bool:
+    """Whether the baseline run lost meaningful time to cooling stalls
+    (the paper's notion of 'constrained by' the resource)."""
+    return (baseline.stall_cycles
+            > CONSTRAINED_STALL_FRACTION * baseline.cycles)
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 + Table 4: issue queue, activity toggling
+# ---------------------------------------------------------------------------
+
+@dataclass
+class IssueQueueExperiment:
+    """Results of the activity-toggling study (paper §4.1)."""
+
+    toggling: Dict[str, SimulationResult]
+    base: Dict[str, SimulationResult]
+
+    @property
+    def benchmarks(self) -> List[str]:
+        return list(self.base)
+
+    def speedup(self, benchmark: str) -> float:
+        return (self.toggling[benchmark].ipc
+                / self.base[benchmark].ipc - 1.0)
+
+    def constrained_benchmarks(self) -> List[str]:
+        return [b for b in self.benchmarks if _constrained(self.base[b])]
+
+    def average_speedup(self, only_constrained: bool = False) -> float:
+        names = (self.constrained_benchmarks() if only_constrained
+                 else self.benchmarks)
+        if not names:
+            return 0.0
+        pairs = [(self.toggling[b], self.base[b]) for b in names]
+        return mean_speedup(pairs)
+
+    def figure6_rows(self) -> List[Tuple[str, float, float, float]]:
+        """(benchmark, toggling IPC, base IPC, speedup) per bar pair."""
+        return [(b, self.toggling[b].ipc, self.base[b].ipc,
+                 self.speedup(b)) for b in self.benchmarks]
+
+    def table4_rows(self, benchmarks: Optional[Sequence[str]] = None
+                    ) -> List[Tuple[str, str, float, float]]:
+        """(benchmark, technique, tail K, head K) like paper Table 4.
+
+        The 'tail' column reports the hotter (more active) physical
+        half of the integer queue under the base policy.
+        """
+        rows = []
+        for bench in benchmarks or self.benchmarks:
+            for label, result in (("Activity-toggling",
+                                   self.toggling[bench]),
+                                  ("Base", self.base[bench])):
+                q0 = result.mean_temp("IntQ0")
+                q1 = result.mean_temp("IntQ1")
+                rows.append((bench, label, max(q0, q1), min(q0, q1)))
+        return rows
+
+    def format(self) -> str:
+        rows = [(b, f"{t:.3f}", f"{base:.3f}", f"{s:+.1%}")
+                for b, t, base, s in self.figure6_rows()]
+        table = format_table(
+            ("benchmark", "toggling IPC", "base IPC", "speedup"), rows,
+            title="Figure 6: issue-queue constrained IPC")
+        summary = (
+            f"\naverage speedup (all): "
+            f"{self.average_speedup():+.1%}\n"
+            f"average speedup (IQ-constrained): "
+            f"{self.average_speedup(only_constrained=True):+.1%}\n"
+            f"constrained: {', '.join(self.constrained_benchmarks())}")
+        return table + summary
+
+
+def issue_queue_experiment(
+        benchmarks: Sequence[str] = tuple(BENCHMARK_NAMES),
+        max_cycles: int = 120_000, seed: int = 1) -> IssueQueueExperiment:
+    """Run Figure 6 / Table 4: toggling vs base, IQ-constrained chip."""
+    toggling: Dict[str, SimulationResult] = {}
+    base: Dict[str, SimulationResult] = {}
+    for bench in benchmarks:
+        toggling[bench] = _run(
+            bench, FloorplanVariant.ISSUE_QUEUE,
+            TechniqueConfig(issue_queue=IssueQueuePolicy.ACTIVITY_TOGGLING),
+            "activity-toggling", max_cycles, seed)
+        base[bench] = _run(
+            bench, FloorplanVariant.ISSUE_QUEUE,
+            TechniqueConfig(issue_queue=IssueQueuePolicy.BASE),
+            "base", max_cycles, seed)
+    return IssueQueueExperiment(toggling=toggling, base=base)
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 + Table 5: ALUs, fine-grain turnoff vs round robin vs base
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ALUExperiment:
+    """Results of the fine-grain-turnoff study (paper §4.2)."""
+
+    round_robin: Dict[str, SimulationResult]
+    fine_grain: Dict[str, SimulationResult]
+    base: Dict[str, SimulationResult]
+
+    @property
+    def benchmarks(self) -> List[str]:
+        return list(self.base)
+
+    def speedup(self, benchmark: str) -> float:
+        return (self.fine_grain[benchmark].ipc
+                / self.base[benchmark].ipc - 1.0)
+
+    def constrained_benchmarks(self) -> List[str]:
+        return [b for b in self.benchmarks if _constrained(self.base[b])]
+
+    def average_speedup(self, only_constrained: bool = False) -> float:
+        names = (self.constrained_benchmarks() if only_constrained
+                 else self.benchmarks)
+        if not names:
+            return 0.0
+        return mean_speedup([(self.fine_grain[b], self.base[b])
+                             for b in names])
+
+    def fine_grain_vs_round_robin(self) -> float:
+        """Average IPC shortfall of fine-grain turnoff relative to the
+        idealized round-robin upper bound (paper: within ~1%)."""
+        return mean_speedup([(self.fine_grain[b], self.round_robin[b])
+                             for b in self.benchmarks])
+
+    def table5_rows(self, benchmarks: Optional[Sequence[str]] = None
+                    ) -> List[Tuple[str, str, float, List[float]]]:
+        """(benchmark, technique, IPC, per-ALU mean temps K)."""
+        rows = []
+        for bench in benchmarks or self.benchmarks:
+            for label, result in (
+                    ("Round robin (ideal)", self.round_robin[bench]),
+                    ("Fine-grain turnoff", self.fine_grain[bench]),
+                    ("Base", self.base[bench])):
+                temps = [result.mean_temp(b) for b in INT_ALU_BLOCKS]
+                rows.append((bench, label, result.ipc, temps))
+        return rows
+
+    def figure7_rows(self) -> List[Tuple[str, float, float, float]]:
+        """(benchmark, round-robin IPC, fine-grain IPC, base IPC)."""
+        return [(b, self.round_robin[b].ipc, self.fine_grain[b].ipc,
+                 self.base[b].ipc) for b in self.benchmarks]
+
+    def format(self) -> str:
+        rows = [(b, f"{rr:.3f}", f"{fg:.3f}", f"{base:.3f}",
+                 f"{fg / base - 1:+.1%}")
+                for b, rr, fg, base in self.figure7_rows()]
+        table = format_table(
+            ("benchmark", "round-robin", "fine-grain", "base",
+             "fg speedup"), rows,
+            title="Figure 7: ALU-constrained IPC")
+        summary = (
+            f"\naverage fine-grain speedup (all): "
+            f"{self.average_speedup():+.1%}\n"
+            f"average fine-grain speedup (ALU-constrained): "
+            f"{self.average_speedup(only_constrained=True):+.1%}\n"
+            f"fine-grain vs round-robin: "
+            f"{self.fine_grain_vs_round_robin():+.1%}\n"
+            f"constrained: {', '.join(self.constrained_benchmarks())}")
+        return table + summary
+
+
+def alu_experiment(benchmarks: Sequence[str] = tuple(BENCHMARK_NAMES),
+                   max_cycles: int = 120_000, seed: int = 1
+                   ) -> ALUExperiment:
+    """Run Figure 7 / Table 5 on the ALU-constrained chip."""
+    round_robin: Dict[str, SimulationResult] = {}
+    fine_grain: Dict[str, SimulationResult] = {}
+    base: Dict[str, SimulationResult] = {}
+    for bench in benchmarks:
+        round_robin[bench] = _run(
+            bench, FloorplanVariant.ALU,
+            TechniqueConfig(alus=ALUPolicy.ROUND_ROBIN),
+            "round-robin", max_cycles, seed)
+        fine_grain[bench] = _run(
+            bench, FloorplanVariant.ALU,
+            TechniqueConfig(alus=ALUPolicy.FINE_GRAIN),
+            "fine-grain", max_cycles, seed)
+        base[bench] = _run(
+            bench, FloorplanVariant.ALU,
+            TechniqueConfig(alus=ALUPolicy.BASE),
+            "base", max_cycles, seed)
+    return ALUExperiment(round_robin=round_robin,
+                         fine_grain=fine_grain, base=base)
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 + Table 6: register file, mappings x fine-grain turnoff
+# ---------------------------------------------------------------------------
+
+#: The four register-file configurations of Figure 8, in its legend
+#: order.
+RF_CONFIGS: Dict[str, RegFilePolicy] = {
+    "fine-grain + balanced": RegFilePolicy(
+        MappingKind.BALANCED, fine_grain_turnoff=True),
+    "fine-grain + priority": RegFilePolicy(
+        MappingKind.PRIORITY, fine_grain_turnoff=True),
+    "balanced only": RegFilePolicy(
+        MappingKind.BALANCED, fine_grain_turnoff=False),
+    "priority only": RegFilePolicy(
+        MappingKind.PRIORITY, fine_grain_turnoff=False),
+}
+
+
+@dataclass
+class RegFileExperiment:
+    """Results of the register-file study (paper §4.3)."""
+
+    #: results[config_label][benchmark]
+    results: Dict[str, Dict[str, SimulationResult]]
+
+    @property
+    def benchmarks(self) -> List[str]:
+        return list(next(iter(self.results.values())))
+
+    def ipc(self, config: str, benchmark: str) -> float:
+        return self.results[config][benchmark].ipc
+
+    def constrained_benchmarks(self) -> List[str]:
+        base = self.results["priority only"]
+        return [b for b in self.benchmarks if _constrained(base[b])]
+
+    def average_speedup(self, config: str, over: str,
+                        only_constrained: bool = False) -> float:
+        names = (self.constrained_benchmarks() if only_constrained
+                 else self.benchmarks)
+        if not names:
+            return 0.0
+        return mean_speedup([(self.results[config][b],
+                              self.results[over][b]) for b in names])
+
+    def table6_rows(self, benchmark: str
+                    ) -> List[Tuple[str, float, float, float]]:
+        """(technique, IPC, copy-0 K, copy-1 K) like paper Table 6."""
+        order = ["fine-grain + priority", "fine-grain + balanced",
+                 "balanced only", "priority only"]
+        rows = []
+        for config in order:
+            result = self.results[config][benchmark]
+            rows.append((config, result.ipc,
+                         result.mean_temp("IntReg0"),
+                         result.mean_temp("IntReg1")))
+        return rows
+
+    def figure8_rows(self) -> List[Tuple[str, List[float]]]:
+        """(benchmark, [IPC per config in RF_CONFIGS order])."""
+        return [(b, [self.ipc(c, b) for c in RF_CONFIGS])
+                for b in self.benchmarks]
+
+    def format(self) -> str:
+        headers = ("benchmark", *RF_CONFIGS)
+        rows = [(b, *(f"{v:.3f}" for v in vals))
+                for b, vals in self.figure8_rows()]
+        table = format_table(headers, rows,
+                             title="Figure 8: register-file constrained IPC")
+        lines = [table, ""]
+        comparisons = [
+            ("balanced only", "priority only",
+             "balanced vs priority (no turnoff)"),
+            ("fine-grain + priority", "priority only",
+             "turnoff+priority vs priority-only"),
+            ("fine-grain + priority", "balanced only",
+             "turnoff+priority vs balanced-only"),
+            ("fine-grain + priority", "fine-grain + balanced",
+             "turnoff+priority vs turnoff+balanced"),
+        ]
+        for config, over, label in comparisons:
+            lines.append(
+                f"{label}: {self.average_speedup(config, over):+.1%} all, "
+                f"{self.average_speedup(config, over, True):+.1%} "
+                f"RF-constrained")
+        lines.append(
+            f"constrained: {', '.join(self.constrained_benchmarks())}")
+        return "\n".join(lines)
+
+
+def regfile_experiment(benchmarks: Sequence[str] = tuple(BENCHMARK_NAMES),
+                       max_cycles: int = 120_000, seed: int = 1
+                       ) -> RegFileExperiment:
+    """Run Figure 8 / Table 6 on the register-file-constrained chip."""
+    results: Dict[str, Dict[str, SimulationResult]] = {
+        label: {} for label in RF_CONFIGS}
+    for bench in benchmarks:
+        for label, policy in RF_CONFIGS.items():
+            results[label][bench] = _run(
+                bench, FloorplanVariant.REGFILE,
+                TechniqueConfig(regfile=policy), label, max_cycles, seed)
+    return RegFileExperiment(results=results)

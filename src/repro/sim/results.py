@@ -1,0 +1,88 @@
+"""Result records and table formatting for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run reports."""
+
+    benchmark: str
+    technique_label: str
+    cycles: int
+    committed: int
+    stall_cycles: int
+    global_stalls: int
+    stall_reasons: Dict[str, int]
+    iq_toggles: int
+    alu_turnoffs: int
+    rf_turnoffs: int
+    #: Time-averaged temperature per block (K), from the sensors.
+    mean_temps: Dict[str, float]
+    #: Maximum observed temperature per block (K).
+    max_temps: Dict[str, float]
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycles if self.cycles else 0.0
+
+    def mean_temp(self, block: str) -> float:
+        return self.mean_temps[block]
+
+    def max_temp(self, block: str) -> float:
+        return self.max_temps[block]
+
+
+def speedup(result: SimulationResult, baseline: SimulationResult) -> float:
+    """Relative IPC improvement of ``result`` over ``baseline``."""
+    if baseline.ipc == 0:
+        raise ValueError("baseline IPC is zero")
+    return result.ipc / baseline.ipc - 1.0
+
+
+def geometric_mean_speedup(pairs: Sequence[tuple]) -> float:
+    """Geometric-mean speedup over (result, baseline) pairs."""
+    if not pairs:
+        raise ValueError("no pairs")
+    product = 1.0
+    for result, baseline in pairs:
+        product *= result.ipc / baseline.ipc
+    return product ** (1.0 / len(pairs)) - 1.0
+
+
+def mean_speedup(pairs: Sequence[tuple]) -> float:
+    """Arithmetic-mean speedup over (result, baseline) pairs (the
+    paper reports arithmetic averages)."""
+    if not pairs:
+        raise ValueError("no pairs")
+    return sum(r.ipc / b.ipc - 1.0 for r, b in pairs) / len(pairs)
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """Plain-text table, right-aligned numerics, for bench output."""
+    text_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.rjust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

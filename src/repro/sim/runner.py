@@ -1,0 +1,155 @@
+"""Simulation runner: one benchmark x one technique x one floorplan.
+
+Wires every substrate together — synthetic (or program) trace, the
+out-of-order core, the power accountant, the RC thermal model, the
+sensor bank, and the DTM controller — and runs for a fixed number of
+cycles, returning a :class:`~repro.sim.results.SimulationResult`.
+
+The run starts from the thermal steady state of a nominal utilization
+(the analogue of the paper's fast-forward + warm-up) so that heating
+dynamics, not cold-start transients, dominate the measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional
+
+from ..core.dtm import ThermalManager
+from ..core.mapping import make_mapping
+from ..core.policies import TechniqueConfig
+from ..pipeline.config import ProcessorConfig, ThermalConfig
+from ..pipeline.isa import MicroOp
+from ..pipeline.processor import Processor
+from ..power.accounting import PowerAccountant
+from ..power.energy import EnergyModel
+from ..thermal.floorplan import Floorplan, FloorplanVariant, ev6_floorplan
+from ..thermal.rc_model import ThermalModel
+from ..thermal.sensors import SensorBank
+from ..workloads.spec2000 import workload
+from .results import SimulationResult
+
+#: Default run length (cycles): long enough for several heating /
+#: cooling episodes under the default thermal acceleration.
+DEFAULT_MAX_CYCLES = 120_000
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything one run needs."""
+
+    benchmark: str
+    variant: FloorplanVariant = FloorplanVariant.BASE
+    techniques: TechniqueConfig = field(default_factory=TechniqueConfig)
+    processor: ProcessorConfig = field(default_factory=ProcessorConfig)
+    thermal: ThermalConfig = field(default_factory=ThermalConfig)
+    energy: EnergyModel = field(default_factory=EnergyModel)
+    max_cycles: int = DEFAULT_MAX_CYCLES
+    #: Cycles executed before measurement to estimate this workload's
+    #: average power; the thermal state is initialized to the steady
+    #: state of that power (the analogue of HotSpot's two-pass
+    #: steady-state initialization after SimPoint fast-forward).
+    warmup_cycles: int = 12_000
+    seed: int = 1
+    technique_label: str = ""
+
+    def label(self) -> str:
+        return self.technique_label or (
+            f"iq={self.techniques.issue_queue.value}/"
+            f"alu={self.techniques.alus.value}/"
+            f"rf={self.techniques.regfile.label()}")
+
+
+class Simulator:
+    """Assembles and drives one full-system simulation."""
+
+    def __init__(self, config: SimulationConfig,
+                 trace: Optional[Iterator[MicroOp]] = None) -> None:
+        self.config = config
+        self.floorplan = ev6_floorplan(config.variant)
+        self.thermal = ThermalModel(
+            self.floorplan,
+            ambient_k=config.thermal.ambient_k,
+            acceleration=config.thermal.acceleration)
+        self.accountant = PowerAccountant(self.floorplan, config.energy)
+        mapping = make_mapping(config.techniques.regfile.mapping,
+                               config.processor.num_int_alus,
+                               config.processor.num_regfile_copies)
+        self.processor = Processor(
+            trace if trace is not None
+            else workload(config.benchmark, seed=config.seed),
+            config=config.processor,
+            mapping=mapping,
+            round_robin_alus=config.techniques.round_robin_alus)
+        source = trace if trace is not None else self.processor.fetch.trace
+        footprint = getattr(source, "warm_footprint", None)
+        if footprint is not None:
+            l1_addrs, l2_addrs = footprint()
+            self.processor.memory.warm(l1_addrs, l2_addrs)
+        self.sensors = SensorBank(self.thermal)
+        self.dtm = ThermalManager(self.processor, self.sensors,
+                                  config.thermal, config.techniques)
+        self._interval_s = (config.thermal.sensor_interval_cycles
+                            * config.thermal.cycle_time_s)
+
+    def run(self) -> SimulationResult:
+        """Execute the configured run and collect results."""
+        self._warmup()
+        self.processor.run(
+            self.config.max_cycles,
+            on_sample=self._on_sample,
+            sample_interval=self.config.thermal.sensor_interval_cycles)
+        return self._collect()
+
+    def _warmup(self) -> None:
+        """Run unmeasured cycles to estimate average power, set the
+        thermal network to its steady state for that power, and zero
+        the performance statistics."""
+        cycles = self.config.warmup_cycles
+        self.accountant.reset(self.processor.activity_snapshot())
+        if cycles > 0:
+            self.processor.run(cycles)
+            seconds = cycles * self.config.thermal.cycle_time_s
+            powers = self.accountant.sample(
+                self.processor.activity_snapshot(), seconds)
+            self.thermal.initialize_steady_state(powers)
+        from ..pipeline.processor import ProcessorStats
+        self.processor.stats = ProcessorStats()
+
+    def _on_sample(self, processor: Processor) -> None:
+        powers = self.accountant.sample(processor.activity_snapshot(),
+                                        self._interval_s)
+        self.thermal.step(powers, self._interval_s)
+        self.dtm.on_sample(processor)
+
+    def _collect(self) -> SimulationResult:
+        stats = self.processor.stats
+        dtm = self.dtm.stats
+        mean_temps = {name: self.sensors.mean(name)
+                      for name in self.floorplan.names}
+        max_temps = {name: self.sensors.maximum(name)
+                     for name in self.floorplan.names}
+        return SimulationResult(
+            benchmark=self.config.benchmark,
+            technique_label=self.config.label(),
+            cycles=stats.cycles,
+            committed=stats.committed,
+            stall_cycles=stats.stall_cycles,
+            global_stalls=dtm.global_stalls,
+            stall_reasons=dict(dtm.stall_reasons),
+            iq_toggles=((self.dtm.int_toggler.stats.toggles
+                         if self.dtm.int_toggler else 0)
+                        + (self.dtm.fp_toggler.stats.toggles
+                           if self.dtm.fp_toggler else 0)),
+            alu_turnoffs=dtm.alu_turnoffs + dtm.fp_adder_turnoffs,
+            rf_turnoffs=dtm.rf_turnoffs,
+            mean_temps=mean_temps,
+            max_temps=max_temps,
+        )
+
+
+def run_simulation(config: SimulationConfig,
+                   trace: Optional[Iterator[MicroOp]] = None
+                   ) -> SimulationResult:
+    """Convenience wrapper: build a :class:`Simulator` and run it."""
+    return Simulator(config, trace=trace).run()

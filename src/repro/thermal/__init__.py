@@ -1,0 +1,15 @@
+"""HotSpot-like RC thermal model over an EV6-style floorplan."""
+
+from .floorplan import (Block, Floorplan, FloorplanVariant, ev6_floorplan,
+                        FP_ADD_BLOCKS, FP_QUEUE_BLOCKS, INT_ALU_BLOCKS,
+                        INT_QUEUE_BLOCKS, INT_REG_BLOCKS)
+from .package import PackageConfig
+from .rc_model import SINK_NODE, ThermalModel
+from .sensors import SensorBank, SensorStats
+
+__all__ = [
+    "Block", "FP_ADD_BLOCKS", "FP_QUEUE_BLOCKS", "Floorplan",
+    "FloorplanVariant", "INT_ALU_BLOCKS", "INT_QUEUE_BLOCKS",
+    "INT_REG_BLOCKS", "PackageConfig", "SINK_NODE", "SensorBank",
+    "SensorStats", "ThermalModel", "ev6_floorplan",
+]

@@ -1,0 +1,205 @@
+"""Floorplans (paper §3.2, Figure 5).
+
+An EV6-like core floorplan scaled to 90 nm, with the granularity the
+paper requires: the integer and FP issue queues split into two halves
+each, the integer register file split into its two copies, IntExec
+split into 6 individual ALUs and FPAdd into 4 individual adders — so
+every resource *copy* is its own thermal block (previous work modelled
+aggregates and could not see intra-resource asymmetry).
+
+Three *constrained* variants scale the area of one resource down
+(total chip power unchanged) until that resource is the thermal
+bottleneck for peak-utilization applications, mirroring the paper's
+methodology of simulating different thermal bottlenecks without
+modelling every possible industrial floorplan.  The freed area is
+absorbed by a nearby resource, keeping the die size constant.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Block:
+    """One rectangular thermal block, dimensions in metres."""
+
+    name: str
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(f"block {self.name} must have positive size")
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def x2(self) -> float:
+        return self.x + self.width
+
+    @property
+    def y2(self) -> float:
+        return self.y + self.height
+
+    def shared_edge(self, other: "Block") -> float:
+        """Length of the edge shared with ``other`` (0 if not adjacent)."""
+        tol = 1e-9
+        if abs(self.x2 - other.x) < tol or abs(other.x2 - self.x) < tol:
+            lo, hi = max(self.y, other.y), min(self.y2, other.y2)
+            return max(0.0, hi - lo)
+        if abs(self.y2 - other.y) < tol or abs(other.y2 - self.y) < tol:
+            lo, hi = max(self.x, other.x), min(self.x2, other.x2)
+            return max(0.0, hi - lo)
+        return 0.0
+
+    def center_distance(self, other: "Block") -> float:
+        cx1, cy1 = self.x + self.width / 2, self.y + self.height / 2
+        cx2, cy2 = other.x + other.width / 2, other.y + other.height / 2
+        return ((cx1 - cx2) ** 2 + (cy1 - cy2) ** 2) ** 0.5
+
+
+class FloorplanVariant(enum.Enum):
+    """Which back-end resource the floorplan makes the bottleneck."""
+
+    BASE = "base"
+    ISSUE_QUEUE = "issue_queue"
+    ALU = "alu"
+    REGFILE = "regfile"
+
+
+class Floorplan:
+    """A set of non-overlapping blocks tiling the die."""
+
+    def __init__(self, blocks: Sequence[Block],
+                 variant: FloorplanVariant = FloorplanVariant.BASE) -> None:
+        names = [b.name for b in blocks]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate block names")
+        self.blocks: Dict[str, Block] = {b.name: b for b in blocks}
+        self.variant = variant
+
+    @property
+    def names(self) -> List[str]:
+        return list(self.blocks)
+
+    def __getitem__(self, name: str) -> Block:
+        return self.blocks[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.blocks
+
+    def area(self, name: str) -> float:
+        return self.blocks[name].area
+
+    def total_area(self) -> float:
+        return sum(b.area for b in self.blocks.values())
+
+    def adjacency(self) -> List[Tuple[str, str, float]]:
+        """All adjacent block pairs with their shared edge length."""
+        pairs: List[Tuple[str, str, float]] = []
+        items = list(self.blocks.values())
+        for i, a in enumerate(items):
+            for b in items[i + 1:]:
+                edge = a.shared_edge(b)
+                if edge > 0:
+                    pairs.append((a.name, b.name, edge))
+        return pairs
+
+
+MM = 1e-3
+
+#: Integer ALU blocks in select-priority order (index 0 hottest under
+#: the conventional static-priority policy).
+INT_ALU_BLOCKS = tuple(f"IntExec{i}" for i in range(6))
+FP_ADD_BLOCKS = tuple(f"FPAdd{i}" for i in range(4))
+
+#: Physical left-to-right placement of the ALU copies.  Select priority
+#: is a wiring property, not a layout property, so the floorplan
+#: interleaves high- and low-priority units; this keeps the lateral
+#: heat load on the two issue-queue halves (the row below) balanced,
+#: so inter-half temperature differences reflect the queue's own
+#: compaction asymmetry rather than which ALUs happen to sit above.
+INT_ALU_PLACEMENT = ("IntExec0", "IntExec5", "IntExec2",
+                     "IntExec3", "IntExec4", "IntExec1")
+FP_ADD_PLACEMENT = ("FPAdd0", "FPAdd3", "FPAdd1", "FPAdd2")
+INT_REG_BLOCKS = ("IntReg0", "IntReg1")
+INT_QUEUE_BLOCKS = ("IntQ0", "IntQ1")
+FP_QUEUE_BLOCKS = ("FPQ0", "FPQ1")
+
+
+def _row(names: Sequence[str], x0: float, x1: float, y0: float,
+         y1: float) -> List[Block]:
+    """Tile ``names`` left-to-right across [x0, x1) at rows [y0, y1)."""
+    width = (x1 - x0) / len(names)
+    return [Block(name, x0 + i * width, y0, width, y1 - y0)
+            for i, name in enumerate(names)]
+
+
+def ev6_floorplan(variant: FloorplanVariant = FloorplanVariant.BASE,
+                  *, iq_scale: float = 1.0, alu_scale: float = 1.0,
+                  reg_scale: float = 1.0) -> Floorplan:
+    """Build the EV6-like floorplan, optionally area-constrained.
+
+    The ``*_scale`` factors shrink the height of the named resource's
+    row; the constrained variants pass their default scales but callers
+    may override for ablation studies.  Freed height is absorbed by the
+    row's neighbour (the map/rename logic), keeping the die square.
+    """
+    if variant is FloorplanVariant.ISSUE_QUEUE:
+        iq_scale = min(iq_scale, 0.2)
+    elif variant is FloorplanVariant.ALU:
+        alu_scale = min(alu_scale, 0.2)
+    elif variant is FloorplanVariant.REGFILE:
+        reg_scale = min(reg_scale, 0.22)
+    for scale in (iq_scale, alu_scale, reg_scale):
+        if not 0.05 <= scale <= 1.0:
+            raise ValueError("area scale factors must be in [0.05, 1]")
+
+    blocks: List[Block] = []
+    die = 8.0 * MM
+
+    # Bottom: caches.
+    blocks.append(Block("Icache", 0.0, 0.0, 4 * MM, 2 * MM))
+    blocks.append(Block("Dcache", 4 * MM, 0.0, 4 * MM, 2 * MM))
+    # Support row.
+    blocks += _row(("Bpred", "ITB", "DTB", "LdStQ"), 0.0, die,
+                   2 * MM, 3 * MM)
+
+    # Left column: FP cluster (x in [0, 3mm)).
+    fp_x1 = 3 * MM
+    fq_h = 1.0 * MM * iq_scale
+    blocks.append(Block("FPMap", 0.0, 3 * MM, fp_x1, 1 * MM + (1.0 * MM - fq_h)))
+    fq_y0 = 4 * MM + (1.0 * MM - fq_h)
+    blocks += _row(("FPQ0", "FPQ1"), 0.0, fp_x1, fq_y0, fq_y0 + fq_h)
+    fa_h = 1.5 * MM * alu_scale
+    blocks += _row(FP_ADD_PLACEMENT, 0.0, fp_x1, 5 * MM, 5 * MM + fa_h)
+    blocks.append(Block("FPMul", 0.0, 5 * MM + fa_h, 1.5 * MM,
+                        3 * MM - fa_h))
+    blocks.append(Block("FPReg", 1.5 * MM, 5 * MM + fa_h, 1.5 * MM,
+                        3 * MM - fa_h))
+
+    # Right region: integer cluster (x in [3mm, 8mm)).
+    ix0 = 3 * MM
+    iq_h = 1.0 * MM * iq_scale
+    blocks.append(Block("IntMap", ix0, 3 * MM, die - ix0,
+                        1 * MM + (1.0 * MM - iq_h)))
+    iq_y0 = 4 * MM + (1.0 * MM - iq_h)
+    blocks += _row(("IntQ0", "IntQ1"), ix0, die, iq_y0, iq_y0 + iq_h)
+    ie_h = 1.5 * MM * alu_scale
+    blocks += _row(INT_ALU_PLACEMENT, ix0, die, 5 * MM, 5 * MM + ie_h)
+    ir_h = 1.5 * MM * reg_scale
+    blocks += _row(INT_REG_BLOCKS, ix0, die, 5 * MM + ie_h,
+                   5 * MM + ie_h + ir_h)
+    filler_y = 5 * MM + ie_h + ir_h
+    if die - filler_y > 1e-9:
+        blocks.append(Block("IntFill", ix0, filler_y, die - ix0,
+                            die - filler_y))
+
+    return Floorplan(blocks, variant)

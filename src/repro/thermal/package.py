@@ -1,0 +1,71 @@
+"""Thermal package parameters (silicon, spreader, sink).
+
+Material constants and package geometry used to build the RC network.
+Values follow HotSpot's defaults for a desktop package; the paper's
+Table 2 supplies the heatsink thickness (6.9 mm) and convection
+resistance (0.8 K/W).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PackageConfig:
+    """Material and package constants for the RC thermal model."""
+
+    #: Silicon thermal conductivity, W/(m K) (at operating temperature).
+    k_silicon: float = 100.0
+    #: Silicon volumetric heat capacity, J/(m^3 K).
+    c_silicon: float = 1.75e6
+    #: Die (silicon) thickness, m (HotSpot default).  A thin die is
+    #: what makes vertical conduction dominate lateral conduction, the
+    #: physical premise behind intra-resource hotspots (paper 1).
+    die_thickness: float = 0.15e-3
+    #: Copper spreader+sink base conductivity, W/(m K).
+    k_sink: float = 400.0
+    #: Copper volumetric heat capacity, J/(m^3 K).
+    c_sink: float = 3.55e6
+    #: Heatsink thickness, m (paper Table 2: 6.9 mm).
+    sink_thickness: float = 6.9e-3
+    #: Heatsink base side length, m (square), typically ~6x die side.
+    sink_side: float = 60e-3
+    #: Convection resistance sink->ambient, K/W (paper Table 2).
+    convection_resistance: float = 0.8
+    #: Extra vertical spreading resistance per unit area, K m^2/W
+    #: (lumped TIM + spreading correction).
+    interface_resistivity: float = 8e-6
+
+    def __post_init__(self) -> None:
+        if min(self.k_silicon, self.c_silicon, self.die_thickness,
+               self.k_sink, self.c_sink, self.sink_thickness,
+               self.sink_side, self.convection_resistance) <= 0:
+            raise ValueError("package constants must be positive")
+
+    def vertical_resistance(self, area: float) -> float:
+        """Block -> sink vertical resistance (conduction through die
+        plus interface/spreading), K/W."""
+        if area <= 0:
+            raise ValueError("area must be positive")
+        r_die = self.die_thickness / (self.k_silicon * area)
+        r_interface = self.interface_resistivity / area
+        return r_die + r_interface
+
+    def lateral_resistance(self, distance: float, edge: float) -> float:
+        """Block <-> block lateral resistance through the die, K/W.
+
+        ``distance`` is the centre-to-centre distance, ``edge`` the
+        shared edge length.
+        """
+        if distance <= 0 or edge <= 0:
+            raise ValueError("distance and edge must be positive")
+        return distance / (self.k_silicon * self.die_thickness * edge)
+
+    def block_capacitance(self, area: float) -> float:
+        """Thermal capacitance of one die block, J/K."""
+        return self.c_silicon * area * self.die_thickness
+
+    def sink_capacitance(self) -> float:
+        """Lumped heatsink capacitance, J/K."""
+        return (self.c_sink * self.sink_side ** 2 * self.sink_thickness)

@@ -1,0 +1,71 @@
+"""On-chip temperature sensors.
+
+The paper senses temperature at resource-copy granularity every
+100,000 cycles (POWER5 ships 24 such sensors).  :class:`SensorBank`
+reads block temperatures from the thermal model, optionally adding
+quantization and offset error so controller robustness can be studied,
+and keeps running statistics (time-average and maximum per block) that
+the result tables report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .rc_model import ThermalModel
+
+
+@dataclass
+class SensorStats:
+    """Running per-block temperature statistics."""
+
+    samples: int = 0
+    total: float = 0.0
+    maximum: float = float("-inf")
+
+    def record(self, value: float) -> None:
+        self.samples += 1
+        self.total += value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.samples if self.samples else 0.0
+
+
+class SensorBank:
+    """Reads (optionally imperfect) temperatures for the DTM logic."""
+
+    def __init__(self, model: ThermalModel,
+                 quantization_k: float = 0.0,
+                 offsets: Optional[Mapping[str, float]] = None) -> None:
+        if quantization_k < 0:
+            raise ValueError("quantization must be non-negative")
+        self.model = model
+        self.quantization_k = quantization_k
+        self.offsets = dict(offsets or {})
+        self.stats: Dict[str, SensorStats] = {
+            name: SensorStats() for name in model.floorplan.names}
+
+    def read(self, name: str) -> float:
+        """One sensor reading (with configured error), also recorded
+        into the running statistics."""
+        value = self.model.temperature(name) + self.offsets.get(name, 0.0)
+        if self.quantization_k:
+            steps = round(value / self.quantization_k)
+            value = steps * self.quantization_k
+        self.stats[name].record(value)
+        return value
+
+    def read_all(self, names: Optional[Sequence[str]] = None
+                 ) -> Dict[str, float]:
+        return {name: self.read(name)
+                for name in (names or self.model.floorplan.names)}
+
+    def mean(self, name: str) -> float:
+        return self.stats[name].mean
+
+    def maximum(self, name: str) -> float:
+        return self.stats[name].maximum

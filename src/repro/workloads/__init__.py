@@ -1,0 +1,8 @@
+"""Synthetic SPEC2000-like workload models (trace substitution)."""
+
+from .generator import MIX_CLASSES, SyntheticWorkload, WorkloadProfile
+from .spec2000 import BENCHMARK_NAMES, PROFILES, all_profiles, profile, workload
+
+__all__ = ["BENCHMARK_NAMES", "MIX_CLASSES", "PROFILES",
+           "SyntheticWorkload", "WorkloadProfile", "all_profiles",
+           "profile", "workload"]

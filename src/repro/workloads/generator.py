@@ -1,0 +1,239 @@
+"""Synthetic workload generation.
+
+A :class:`WorkloadProfile` describes a program's *regime* — instruction
+mix, instruction-level parallelism (as a mean register-dependency
+distance), burstiness (alternating calm/burst phases with different
+ILP), memory locality (probabilities of leaving the L1/L2 working
+sets), and branch predictability.  :class:`SyntheticWorkload` expands a
+profile into an endless, reproducible stream of
+:class:`~repro.pipeline.isa.MicroOp` records.
+
+This substitutes for the paper's SPEC2000 binaries (DESIGN.md §2): the
+power-density phenomena under study depend on *activity rates and
+their asymmetry* in the back end, which these streams reproduce, not
+on program semantics.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Iterator, Optional, Tuple
+
+from ..pipeline.isa import MicroOp, OpClass
+
+#: Op classes a profile mix may mention, in canonical order.
+MIX_CLASSES = (OpClass.INT_ALU, OpClass.INT_MUL, OpClass.LOAD,
+               OpClass.STORE, OpClass.BRANCH, OpClass.FP_ADD,
+               OpClass.FP_MUL)
+
+_HOT_POOL_BYTES = 16 * 1024        # comfortably inside the 64 KB L1
+_WARM_POOL_BYTES = 1024 * 1024     # inside the 2 MB L2, far beyond L1
+_LINE = 64
+
+
+@dataclass(frozen=True)
+class WorkloadProfile:
+    """Statistical description of one benchmark's behaviour."""
+
+    name: str
+    #: Fractions per op class (same order as MIX_CLASSES); must sum to 1.
+    mix: Dict[OpClass, float]
+    #: Mean register-dependency distance outside bursts (higher = more ILP).
+    dep_mean: float = 4.0
+    #: Mean dependency distance inside bursts (0 disables bursts).
+    burst_dep_mean: float = 0.0
+    #: Burst / calm phase lengths, in instructions.
+    burst_len: int = 0
+    calm_len: int = 0
+    #: Probability a load leaves the L1 working set.
+    l1_miss: float = 0.03
+    #: Of those, probability it also leaves the L2 working set.
+    l2_frac: float = 0.1
+    #: Branch mispredict probability.
+    mispredict_rate: float = 0.05
+    #: Probability an op carries no register dependences at all (its
+    #: inputs are immediates or long-retired values).  Independent ops
+    #: become ready the moment they dispatch, which scatters issue
+    #: positions through the queue instead of concentrating them at
+    #: the head.
+    independent_frac: float = 0.2
+
+    def __post_init__(self) -> None:
+        total = sum(self.mix.values())
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"{self.name}: mix sums to {total}, not 1")
+        for opclass in self.mix:
+            if opclass not in MIX_CLASSES:
+                raise ValueError(f"{self.name}: {opclass} not permitted")
+        if self.dep_mean < 1.0:
+            raise ValueError("dep_mean must be >= 1")
+        if not 0.0 <= self.l1_miss <= 1.0 or not 0.0 <= self.l2_frac <= 1.0:
+            raise ValueError("miss fractions must be probabilities")
+        if not 0.0 <= self.mispredict_rate <= 1.0:
+            raise ValueError("mispredict_rate must be a probability")
+        if not 0.0 <= self.independent_frac <= 1.0:
+            raise ValueError("independent_frac must be a probability")
+        if (self.burst_len > 0) != (self.calm_len > 0):
+            raise ValueError("burst_len and calm_len must both be set "
+                             "or both be zero")
+        if self.burst_len > 0 and self.burst_dep_mean < 1.0:
+            raise ValueError("bursty profiles need burst_dep_mean >= 1")
+
+    @property
+    def bursty(self) -> bool:
+        return self.burst_len > 0
+
+    @property
+    def fp_fraction(self) -> float:
+        return (self.mix.get(OpClass.FP_ADD, 0.0)
+                + self.mix.get(OpClass.FP_MUL, 0.0))
+
+
+class SyntheticWorkload:
+    """Reproducible micro-op stream for one profile."""
+
+    def __init__(self, profile: WorkloadProfile, seed: int = 1) -> None:
+        self.profile = profile
+        self.seed = seed
+        # zlib.crc32 is stable across processes (unlike hash(), which
+        # is salted), so identical (profile, seed) pairs always yield
+        # identical streams.
+        self._rng = random.Random(
+            (zlib.crc32(profile.name.encode()) ^ seed) & 0xFFFFFFFF)
+        self._classes = list(profile.mix.keys())
+        self._weights = [profile.mix[c] for c in self._classes]
+        self._recent_int: Deque[int] = deque(maxlen=64)
+        self._recent_fp: Deque[int] = deque(maxlen=64)
+        self._next_int_dst = 1
+        self._next_fp_dst = 1
+        self._seq = 0
+        self._phase_left = profile.calm_len if profile.bursty else 0
+        self._in_burst = False
+        self._stream_addr = 256 * 1024 * 1024  # cold streaming region
+
+    def __iter__(self) -> Iterator[MicroOp]:
+        return self
+
+    def __next__(self) -> MicroOp:
+        return self.generate()
+
+    # ------------------------------------------------------------------
+    def generate(self) -> MicroOp:
+        """Produce the next micro-op."""
+        profile, rng = self.profile, self._rng
+        self._advance_phase()
+        opclass = rng.choices(self._classes, self._weights)[0]
+        op = self._build(opclass)
+        self._seq += 1
+        return op
+
+    def take(self, count: int) -> Iterator[MicroOp]:
+        """Yield exactly ``count`` micro-ops."""
+        for _ in range(count):
+            yield self.generate()
+
+    # ------------------------------------------------------------------
+    def warm_footprint(self):
+        """(L1 addresses, L2 addresses) for cache warm-up before a
+        timed run — the hot pool belongs in the L1, the warm pool in
+        the L2 (the cold streaming region is compulsory-miss by
+        design and cannot be warmed)."""
+        l1 = range(0, _HOT_POOL_BYTES, _LINE)
+        l2 = range(_HOT_POOL_BYTES, _HOT_POOL_BYTES + _WARM_POOL_BYTES,
+                   _LINE)
+        return l1, l2
+
+    def _advance_phase(self) -> None:
+        if not self.profile.bursty:
+            return
+        if self._phase_left <= 0:
+            self._in_burst = not self._in_burst
+            self._phase_left = (self.profile.burst_len if self._in_burst
+                                else self.profile.calm_len)
+        self._phase_left -= 1
+
+    @property
+    def in_burst(self) -> bool:
+        return self._in_burst
+
+    def _dep_mean(self) -> float:
+        if self._in_burst:
+            return self.profile.burst_dep_mean
+        return self.profile.dep_mean
+
+    def _pick_source(self, recent: Deque[int]) -> Optional[int]:
+        if self._rng.random() < self.profile.independent_frac:
+            return None
+        if not recent:
+            return 1
+        mean = self._dep_mean()
+        # Geometric distance: P(d) ~ (1-p)^(d-1) p with mean 1/p,
+        # sampled in closed form via inversion.
+        if mean <= 1.0:
+            return recent[-1]
+        u = self._rng.random()
+        distance = 1 + int(math.log(u) / math.log(1.0 - 1.0 / mean))
+        if distance > len(recent):
+            distance = len(recent)
+        return recent[-distance]
+
+    def _alloc_dst(self, fp: bool) -> int:
+        if fp:
+            dst = self._next_fp_dst
+            self._next_fp_dst = dst % 30 + 1
+            self._recent_fp.append(dst)
+        else:
+            dst = self._next_int_dst
+            self._next_int_dst = dst % 30 + 1
+            self._recent_int.append(dst)
+        return dst
+
+    def _address(self) -> int:
+        rng = self._rng
+        roll = rng.random()
+        if roll >= self.profile.l1_miss:
+            offset = rng.randrange(_HOT_POOL_BYTES // _LINE) * _LINE
+            return offset
+        if rng.random() >= self.profile.l2_frac:
+            offset = rng.randrange(_WARM_POOL_BYTES // _LINE) * _LINE
+            return _HOT_POOL_BYTES + offset
+        self._stream_addr += _LINE  # never revisited: guaranteed miss
+        return self._stream_addr
+
+    def _build(self, opclass: OpClass) -> MicroOp:
+        rng = self._rng
+        seq = self._seq
+        pc = seq & 0xFFFF
+        if opclass in (OpClass.INT_ALU, OpClass.INT_MUL):
+            src1 = self._pick_source(self._recent_int)
+            src2 = self._pick_source(self._recent_int)
+            dst = self._alloc_dst(fp=False)
+            return MicroOp(seq, opclass, dst=dst, src1=src1, src2=src2,
+                           pc=pc)
+        if opclass is OpClass.LOAD:
+            src1 = self._pick_source(self._recent_int)
+            dst = self._alloc_dst(fp=False)
+            return MicroOp(seq, opclass, dst=dst, src1=src1,
+                           mem_addr=self._address(), pc=pc)
+        if opclass is OpClass.STORE:
+            src1 = self._pick_source(self._recent_int)
+            src2 = self._pick_source(self._recent_int)
+            return MicroOp(seq, opclass, src1=src1, src2=src2,
+                           mem_addr=self._address(), pc=pc)
+        if opclass is OpClass.BRANCH:
+            src1 = self._pick_source(self._recent_int)
+            taken = rng.random() < 0.6
+            wrong = rng.random() < self.profile.mispredict_rate
+            return MicroOp(seq, opclass, src1=src1, taken=taken,
+                           mispredicted=wrong, pc=pc)
+        if opclass in (OpClass.FP_ADD, OpClass.FP_MUL):
+            src1 = self._pick_source(self._recent_fp)
+            src2 = self._pick_source(self._recent_fp)
+            dst = self._alloc_dst(fp=True)
+            return MicroOp(seq, opclass, dst=dst, src1=src1, src2=src2,
+                           pc=pc)
+        raise ValueError(f"cannot build op class {opclass}")

@@ -1,0 +1,162 @@
+"""SPEC CPU2000 workload profiles (the 22 benchmarks the paper runs).
+
+Each profile is tuned to put its benchmark in the *regime* the paper's
+results imply (DESIGN.md §2): which back-end resource it pressures,
+whether its activity is steady or bursty, and how memory-bound it is.
+Every profile alternates between a calm and a burst phase (real SPEC
+programs are strongly phased), which is what lets temperatures wander
+across the thermal ceiling rather than sitting at a fixed point.
+
+Notable anchors from the paper's §4:
+
+* ``art`` never overheats the issue queue (memory-bound, low issue
+  rate), so activity toggling cannot help it;
+* ``facerec`` has high-IPC bursts that overheat the queue regardless of
+  balancing;
+* ``mesa`` and ``eon`` are steady and hot in the issue queue /
+  register file, the biggest winners from toggling and priority
+  mapping;
+* ``parser`` is never ALU-constrained (low IPC) while ``perlbmk``
+  saturates the high-priority ALUs;
+* ``wupwise``, ``apsi`` and ``gcc`` are mildly constrained.
+
+Absolute IPCs differ from the paper's Alpha binaries; the regimes (who
+overheats what, who is insensitive) are what matter for the study.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..pipeline.isa import OpClass
+from .generator import SyntheticWorkload, WorkloadProfile
+
+
+def _mix(int_alu: float = 0.0, int_mul: float = 0.0, load: float = 0.0,
+         store: float = 0.0, branch: float = 0.0, fp_add: float = 0.0,
+         fp_mul: float = 0.0) -> Dict[OpClass, float]:
+    values = {
+        OpClass.INT_ALU: int_alu, OpClass.INT_MUL: int_mul,
+        OpClass.LOAD: load, OpClass.STORE: store, OpClass.BRANCH: branch,
+        OpClass.FP_ADD: fp_add, OpClass.FP_MUL: fp_mul,
+    }
+    return {k: v for k, v in values.items() if v > 0}
+
+
+_INT_MIX = dict(int_alu=0.50, int_mul=0.02, load=0.26, store=0.10,
+                branch=0.12)
+_FP_MIX = dict(int_alu=0.24, load=0.25, store=0.09, branch=0.03,
+               fp_add=0.26, fp_mul=0.13)
+
+
+def _phased(name: str, dep: float, burst_dep: float, *, l1: float,
+            l2f: float, mp: float, mix: Dict[str, float],
+            burst_len: int = 15_000, calm_len: int = 15_000,
+            indep: float = 0.2) -> WorkloadProfile:
+    """A calm/burst phased profile (the common case)."""
+    return WorkloadProfile(
+        name, _mix(**mix), dep_mean=dep, burst_dep_mean=burst_dep,
+        burst_len=burst_len, calm_len=calm_len,
+        l1_miss=l1, l2_frac=l2f, mispredict_rate=mp,
+        independent_frac=indep)
+
+
+#: The 22 SPEC2000 benchmarks simulated by the paper (it omits four of
+#: the 26 for run time), in the order of the figures' x-axes.
+BENCHMARK_NAMES = [
+    "applu", "apsi", "art", "bzip", "crafty", "eon", "facerec", "fma3d",
+    "gcc", "gzip", "lucas", "mcf", "mesa", "mgrid", "parser", "perlbmk",
+    "sixtrack", "swim", "twolf", "vortex", "vpr", "wupwise",
+]
+
+PROFILES: Dict[str, WorkloadProfile] = {
+    # --- floating point ------------------------------------------------
+    "applu": _phased("applu", 5.0, 8.0, l1=0.06, l2f=0.25, mp=0.01,
+                     indep=0.30, mix=_FP_MIX),
+    "apsi": _phased("apsi", 6.5, 8.5, l1=0.03, l2f=0.15, mp=0.02,
+                    indep=0.45, mix=dict(int_alu=0.27, load=0.24, store=0.10,
+                             branch=0.04, fp_add=0.23, fp_mul=0.12)),
+    "art": _phased("art", 1.8, 3.0, l1=0.28, l2f=0.55, mp=0.06,
+                   indep=0.15, mix=dict(int_alu=0.22, load=0.34, store=0.06,
+                            branch=0.08, fp_add=0.20, fp_mul=0.10)),
+    "facerec": _phased("facerec", 3.0, 16.0, l1=0.03, l2f=0.20, mp=0.02,
+                       burst_len=22_000, calm_len=18_000,
+                       indep=0.45, mix=dict(int_alu=0.25, load=0.24, store=0.08,
+                                branch=0.03, fp_add=0.27, fp_mul=0.13)),
+    "fma3d": _phased("fma3d", 8.5, 11.0, l1=0.04, l2f=0.20, mp=0.03,
+                     indep=0.40, mix=_FP_MIX),
+    "lucas": _phased("lucas", 3.5, 6.0, l1=0.12, l2f=0.45, mp=0.01,
+                     indep=0.15, mix=dict(int_alu=0.16, load=0.30, store=0.12,
+                              branch=0.02, fp_add=0.26, fp_mul=0.14)),
+    "mesa": _phased("mesa", 4.5, 6.5, l1=0.02, l2f=0.10, mp=0.02,
+                    indep=0.30, mix=dict(int_alu=0.36, load=0.24, store=0.09,
+                             branch=0.05, fp_add=0.18, fp_mul=0.08)),
+    "mgrid": _phased("mgrid", 5.0, 8.0, l1=0.07, l2f=0.30, mp=0.01,
+                     indep=0.25, mix=dict(int_alu=0.18, load=0.30, store=0.08,
+                              branch=0.02, fp_add=0.28, fp_mul=0.14)),
+    "sixtrack": _phased("sixtrack", 4.5, 6.0, l1=0.02, l2f=0.10,
+                        mp=0.01,
+                        indep=0.25, mix=dict(int_alu=0.26, load=0.24, store=0.10,
+                                 branch=0.03, fp_add=0.24, fp_mul=0.13)),
+    "swim": _phased("swim", 4.0, 6.0, l1=0.16, l2f=0.50, mp=0.01,
+                    indep=0.15, mix=dict(int_alu=0.16, load=0.32, store=0.12,
+                             branch=0.02, fp_add=0.25, fp_mul=0.13)),
+    "wupwise": _phased("wupwise", 5.5, 7.5, l1=0.02, l2f=0.15,
+                       mp=0.01,
+                       indep=0.35, mix=dict(int_alu=0.29, load=0.24, store=0.09,
+                                branch=0.03, fp_add=0.23, fp_mul=0.12)),
+    # --- integer --------------------------------------------------------
+    "bzip": _phased("bzip", 4.0, 11.0, l1=0.04, l2f=0.25, mp=0.05,
+                    burst_len=12_000, calm_len=12_000,
+                    indep=0.40, mix=dict(int_alu=0.48, int_mul=0.02, load=0.26,
+                             store=0.10, branch=0.14)),
+    "crafty": _phased("crafty", 9.0, 12.0, l1=0.02, l2f=0.10, mp=0.05,
+                      indep=0.45, mix=dict(int_alu=0.50, int_mul=0.01, load=0.26,
+                               store=0.08, branch=0.15)),
+    "eon": _phased("eon", 7.5, 10.0, l1=0.03, l2f=0.08, mp=0.03,
+                   indep=0.50, mix=dict(int_alu=0.52, int_mul=0.02, load=0.26,
+                            store=0.10, branch=0.10)),
+    "gcc": _phased("gcc", 10.0, 12.0, l1=0.03, l2f=0.20, mp=0.05,
+                   indep=0.50, mix=dict(int_alu=0.46, int_mul=0.01, load=0.26,
+                            store=0.11, branch=0.16)),
+    "gzip": _phased("gzip", 7.5, 10.0, l1=0.03, l2f=0.15, mp=0.05,
+                    indep=0.50, mix=dict(int_alu=0.48, load=0.26, store=0.10,
+                             branch=0.16)),
+    "mcf": _phased("mcf", 1.6, 2.6, l1=0.30, l2f=0.60, mp=0.09,
+                   indep=0.15, mix=dict(int_alu=0.36, load=0.36, store=0.08,
+                            branch=0.20)),
+    "parser": _phased("parser", 1.9, 3.0, l1=0.06, l2f=0.25, mp=0.08,
+                      indep=0.15, mix=dict(int_alu=0.44, int_mul=0.01, load=0.28,
+                               store=0.09, branch=0.18)),
+    "perlbmk": _phased("perlbmk", 11.0, 13.0, l1=0.01, l2f=0.10,
+                       mp=0.04,
+                       indep=0.30, mix=dict(int_alu=0.54, int_mul=0.02, load=0.24,
+                                store=0.09, branch=0.11)),
+    "twolf": _phased("twolf", 2.6, 4.0, l1=0.07, l2f=0.25, mp=0.09,
+                     indep=0.15, mix=dict(int_alu=0.44, load=0.28, store=0.08,
+                              branch=0.20)),
+    "vortex": _phased("vortex", 9.0, 11.5, l1=0.02, l2f=0.15, mp=0.03,
+                      indep=0.50, mix=dict(int_alu=0.48, int_mul=0.01, load=0.27,
+                               store=0.12, branch=0.12)),
+    "vpr": _phased("vpr", 3.0, 4.5, l1=0.05, l2f=0.25, mp=0.08,
+                   indep=0.15, mix=dict(int_alu=0.44, load=0.28, store=0.09,
+                            branch=0.19)),
+}
+
+
+def profile(name: str) -> WorkloadProfile:
+    """Look up one benchmark profile by name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(f"unknown benchmark {name!r}; choose from "
+                       f"{BENCHMARK_NAMES}") from None
+
+
+def workload(name: str, seed: int = 1) -> SyntheticWorkload:
+    """Instantiate the micro-op stream for one benchmark."""
+    return SyntheticWorkload(profile(name), seed=seed)
+
+
+def all_profiles() -> List[WorkloadProfile]:
+    return [PROFILES[name] for name in BENCHMARK_NAMES]

@@ -1,0 +1,93 @@
+"""Tests for the activity-toggling controller."""
+
+import pytest
+
+from repro.core.activity_toggle import ActivityToggler
+from repro.pipeline.issue_queue import CompactingIssueQueue, QueueMode
+from repro.pipeline.isa import MicroOp, OpClass
+
+
+def op(seq):
+    return MicroOp(seq, OpClass.INT_ALU, dst=1)
+
+
+def queue_with_occupancy(n=32, occupancy=6):
+    q = CompactingIssueQueue(n, 6, replay_window=1)
+    for i in range(occupancy):
+        q.insert(op(i), i, set())
+    return q
+
+
+def toggler_with_activity(q, active_half=0, **kwargs):
+    """Build a toggler, then record activity so its windowed delta
+    (computed against the construction-time baseline) sees it."""
+    toggler = ActivityToggler(q, **kwargs)
+    q.counters.counter_evals[active_half] += 100
+    return toggler
+
+
+class TestToggleDecision:
+    def test_toggles_when_hot_half_is_active(self):
+        q = queue_with_occupancy()
+        toggler = toggler_with_activity(q, active_half=0, threshold_k=0.5)
+        assert toggler.observe((351.0, 350.0)) is True
+        assert q.mode is QueueMode.TOGGLED
+
+    def test_no_toggle_below_threshold(self):
+        q = queue_with_occupancy()
+        toggler = toggler_with_activity(q, active_half=0, threshold_k=0.5)
+        assert toggler.observe((350.4, 350.0)) is False
+
+    def test_no_toggle_when_hot_half_inactive(self):
+        q = queue_with_occupancy()
+        toggler = toggler_with_activity(q, active_half=0, threshold_k=0.5)
+        # Upper half hot but all activity is in the lower half.
+        assert toggler.observe((350.0, 352.0)) is False
+
+    def test_refractory_period(self):
+        q = queue_with_occupancy()
+        toggler = toggler_with_activity(q, active_half=0, threshold_k=0.5,
+                                        refractory_samples=3)
+        assert toggler.observe((352.0, 350.0)) is True
+        # Now activity moves to half 1 (toggled mode tail region).
+        for _ in range(3):
+            q.counters.counter_evals[1] += 100
+            assert toggler.observe((350.0, 353.0)) is False  # cooling off
+        # After a revert-to-normal below, mode flips back; just check
+        # the cooldown expired and a decision is possible again.
+        assert toggler.stats.toggles >= 1
+
+    def test_occupancy_guard_blocks_saturated_queue(self):
+        q = CompactingIssueQueue(32, 6, replay_window=1)
+        for i in range(30):
+            q.insert(op(i), i, set())
+        # Accumulate windowed occupancy.
+        for _ in range(10):
+            q.tick()
+        q.counters.counter_evals[1] += 100
+        toggler = ActivityToggler(q, threshold_k=0.5)
+        assert toggler.observe((350.0, 352.0)) is False
+        assert q.mode is QueueMode.NORMAL
+
+    def test_saturation_revert(self):
+        q = queue_with_occupancy(occupancy=4)
+        toggler = toggler_with_activity(q, active_half=0, threshold_k=0.5,
+                                        refractory_samples=0)
+        toggler.observe((352.0, 350.0))
+        assert q.mode is QueueMode.TOGGLED
+        # The queue saturates: next observation reverts.
+        while q.can_insert():
+            q.insert(op(100 + len(q)), 100, set())
+        assert toggler.observe((350.0, 350.1)) is True
+        assert q.mode is QueueMode.NORMAL
+
+    def test_stats_track_imbalance(self):
+        q = queue_with_occupancy()
+        toggler = ActivityToggler(q)
+        toggler.observe((350.0, 353.5))
+        assert toggler.stats.max_imbalance_k == pytest.approx(3.5)
+        assert toggler.stats.samples == 1
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            ActivityToggler(queue_with_occupancy(), threshold_k=0.0)

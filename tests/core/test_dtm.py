@@ -1,0 +1,145 @@
+"""Tests for the DTM orchestrator."""
+
+import pytest
+
+from repro.core.dtm import ThermalManager
+from repro.core.mapping import (MappingKind, completely_balanced_mapping,
+                                priority_mapping)
+from repro.core.policies import (ALUPolicy, IssueQueuePolicy, RegFilePolicy,
+                                 TechniqueConfig)
+from repro.pipeline.config import ThermalConfig
+from repro.pipeline.isa import MicroOp, OpClass
+from repro.pipeline.processor import Processor
+from repro.thermal.floorplan import FloorplanVariant, ev6_floorplan
+from repro.thermal.rc_model import ThermalModel
+from repro.thermal.sensors import SensorBank
+
+
+def ops(n=100000):
+    for seq in range(n):
+        yield MicroOp(seq, OpClass.INT_ALU, dst=1 + seq % 20)
+
+
+def build(techniques, mapping=None):
+    thermal_config = ThermalConfig()
+    model = ThermalModel(ev6_floorplan(FloorplanVariant.BASE),
+                         ambient_k=thermal_config.ambient_k)
+    processor = Processor(ops(), mapping=mapping,
+                          round_robin_alus=techniques.round_robin_alus)
+    sensors = SensorBank(model)
+    manager = ThermalManager(processor, sensors, thermal_config,
+                             techniques)
+    return manager, processor, model
+
+
+def set_all(model, temp):
+    model.set_temperatures({n: temp for n in model.floorplan.names})
+
+
+class TestBasePolicies:
+    def test_cool_chip_never_stalls(self):
+        manager, processor, model = build(TechniqueConfig())
+        set_all(model, 340.0)
+        manager.on_sample(processor)
+        assert not processor.is_stalled
+        assert manager.stats.global_stalls == 0
+
+    def test_hot_alu_stalls_base_policy(self):
+        manager, processor, model = build(TechniqueConfig())
+        set_all(model, 340.0)
+        model.set_temperatures({"IntExec0": 358.5})
+        manager.on_sample(processor)
+        assert processor.is_stalled
+        assert manager.stats.stall_reasons == {"alu": 1}
+
+    def test_hot_queue_half_always_stalls(self):
+        techniques = TechniqueConfig(
+            issue_queue=IssueQueuePolicy.ACTIVITY_TOGGLING)
+        manager, processor, model = build(techniques)
+        set_all(model, 340.0)
+        model.set_temperatures({"IntQ1": 359.0})
+        manager.on_sample(processor)
+        assert processor.is_stalled
+
+    def test_hot_regfile_copy_stalls_without_turnoff(self):
+        techniques = TechniqueConfig(
+            regfile=RegFilePolicy(MappingKind.PRIORITY,
+                                  fine_grain_turnoff=False))
+        manager, processor, model = build(techniques)
+        set_all(model, 340.0)
+        model.set_temperatures({"IntReg0": 358.5})
+        manager.on_sample(processor)
+        assert processor.is_stalled
+
+    def test_failsafe_for_other_blocks(self):
+        manager, processor, model = build(TechniqueConfig())
+        set_all(model, 340.0)
+        model.set_temperatures({"Icache": 359.0})
+        manager.on_sample(processor)
+        assert "other:Icache" in manager.stats.stall_reasons
+
+
+class TestFineGrainPolicies:
+    def test_hot_alu_turned_off_not_stalled(self):
+        techniques = TechniqueConfig(alus=ALUPolicy.FINE_GRAIN)
+        manager, processor, model = build(techniques)
+        set_all(model, 340.0)
+        model.set_temperatures({"IntExec0": 358.5})
+        manager.on_sample(processor)
+        assert not processor.is_stalled
+        assert processor.int_alus[0].busy
+        assert not processor.int_alus[1].busy
+
+    def test_all_alus_hot_forces_stall(self):
+        techniques = TechniqueConfig(alus=ALUPolicy.FINE_GRAIN)
+        manager, processor, model = build(techniques)
+        set_all(model, 340.0)
+        model.set_temperatures({f"IntExec{i}": 359.0 for i in range(6)})
+        manager.on_sample(processor)
+        assert processor.is_stalled
+        assert "all_alus_off" in manager.stats.stall_reasons
+
+    def test_hot_rf_copy_turned_off_blocks_its_alus(self):
+        techniques = TechniqueConfig(
+            regfile=RegFilePolicy(MappingKind.PRIORITY,
+                                  fine_grain_turnoff=True))
+        manager, processor, model = build(techniques)
+        set_all(model, 340.0)
+        model.set_temperatures({"IntReg0": 358.0})
+        manager.on_sample(processor)
+        assert not processor.is_stalled
+        assert processor.regfile.is_off(0)
+        assert processor.regfile.blocked_alus() == {0, 1, 2}
+
+    def test_rf_turnoff_triggers_below_critical(self):
+        """Copies turn off rf_turnoff_margin_k below the ceiling so
+        writes can continue while cooling (paper 2.3 solution 1)."""
+        techniques = TechniqueConfig(
+            regfile=RegFilePolicy(MappingKind.PRIORITY,
+                                  fine_grain_turnoff=True))
+        manager, processor, model = build(techniques)
+        config = ThermalConfig()
+        set_all(model, 340.0)
+        just_below = (config.max_temperature_k
+                      - config.rf_turnoff_margin_k + 0.1)
+        model.set_temperatures({"IntReg0": just_below})
+        manager.on_sample(processor)
+        assert processor.regfile.is_off(0)
+
+    def test_completely_balanced_mapping_cannot_turn_off(self):
+        techniques = TechniqueConfig(
+            regfile=RegFilePolicy(MappingKind.COMPLETELY_BALANCED,
+                                  fine_grain_turnoff=True))
+        manager, processor, model = build(
+            techniques, mapping=completely_balanced_mapping(6, 2))
+        assert manager.rf_controller is None
+        set_all(model, 340.0)
+        model.set_temperatures({"IntReg0": 359.0})
+        manager.on_sample(processor)
+        assert processor.is_stalled  # falls back to the temporal technique
+
+    def test_wrong_processor_rejected(self):
+        manager, processor, model = build(TechniqueConfig())
+        other = Processor(ops())
+        with pytest.raises(ValueError):
+            manager.on_sample(other)

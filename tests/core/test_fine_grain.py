@@ -1,0 +1,75 @@
+"""Tests for the fine-grain turnoff controller."""
+
+import pytest
+
+from repro.core.fine_grain import FineGrainController
+
+
+class Recorder:
+    def __init__(self):
+        self.off = set()
+
+    def turn_off(self, copy):
+        self.off.add(copy)
+
+    def turn_on(self, copy):
+        self.off.discard(copy)
+
+
+def make(n=4, trigger=358.0, hysteresis=0.4):
+    rec = Recorder()
+    ctl = FineGrainController(n, trigger, hysteresis,
+                              turn_off=rec.turn_off, turn_on=rec.turn_on)
+    return ctl, rec
+
+
+class TestThermostat:
+    def test_turns_off_at_trigger(self):
+        ctl, rec = make()
+        ctl.observe([358.0, 350.0, 350.0, 350.0])
+        assert rec.off == {0}
+        assert ctl.stats.turnoff_events == 1
+
+    def test_stays_off_within_hysteresis(self):
+        ctl, rec = make()
+        ctl.observe([358.5, 350.0, 350.0, 350.0])
+        ctl.observe([357.8, 350.0, 350.0, 350.0])  # above trigger-hyst
+        assert rec.off == {0}
+
+    def test_turns_back_on_below_hysteresis(self):
+        ctl, rec = make()
+        ctl.observe([358.5, 350.0, 350.0, 350.0])
+        ctl.observe([357.5, 350.0, 350.0, 350.0])
+        assert rec.off == set()
+        assert ctl.stats.turnon_events == 1
+
+    def test_all_off_signals_fallback(self):
+        ctl, rec = make(n=2)
+        assert ctl.observe([360.0, 350.0]) is False
+        assert ctl.observe([360.0, 360.0]) is True
+        assert ctl.stats.all_off_events == 1
+
+    def test_per_copy_counts(self):
+        ctl, _ = make(n=3)
+        ctl.observe([360.0, 350.0, 360.0])
+        assert ctl.stats.per_copy == [1, 0, 1]
+
+    def test_force_all_on(self):
+        ctl, rec = make(n=3)
+        ctl.observe([360.0, 360.0, 360.0])
+        ctl.force_all_on()
+        assert rec.off == set()
+        assert ctl.off == [False, False, False]
+
+    def test_temp_vector_length_checked(self):
+        ctl, _ = make(n=3)
+        with pytest.raises(ValueError):
+            ctl.observe([350.0, 350.0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FineGrainController(0, 358.0, 0.4, lambda i: None,
+                                lambda i: None)
+        with pytest.raises(ValueError):
+            FineGrainController(2, 358.0, -1.0, lambda i: None,
+                                lambda i: None)

@@ -1,0 +1,96 @@
+"""Tests for register-file port mappings (paper Figure 4)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mapping import (MappingKind, balanced_mapping,
+                                completely_balanced_mapping, make_mapping,
+                                priority_mapping)
+
+
+class TestPriorityMapping:
+    def test_groups_by_priority(self):
+        m = priority_mapping(6, 2)
+        assert m.copies_for(0) == (0, 0)
+        assert m.copies_for(2) == (0, 0)
+        assert m.copies_for(3) == (1, 1)
+        assert m.copies_for(5) == (1, 1)
+
+    def test_alus_on_copy(self):
+        m = priority_mapping(6, 2)
+        assert m.alus_on_copy(0) == [0, 1, 2]
+        assert m.alus_on_copy(1) == [3, 4, 5]
+
+    def test_supports_turnoff(self):
+        assert priority_mapping(6, 2).supports_turnoff
+
+    def test_figure4_example(self):
+        """Paper Figure 4: priority 0,1 on copy 0; 2,3 on copy 1."""
+        m = priority_mapping(4, 2)
+        assert m.copies_for(0) == (0, 0)
+        assert m.copies_for(1) == (0, 0)
+        assert m.copies_for(2) == (1, 1)
+        assert m.copies_for(3) == (1, 1)
+
+
+class TestBalancedMapping:
+    def test_interleaves_priorities(self):
+        m = balanced_mapping(6, 2)
+        assert m.copies_for(0) == (0, 0)
+        assert m.copies_for(1) == (1, 1)
+        assert m.copies_for(4) == (0, 0)
+
+    def test_figure4_example(self):
+        """Paper Figure 4: priority 0,2 on copy 0; 1,3 on copy 1."""
+        m = balanced_mapping(4, 2)
+        assert m.alus_on_copy(0) == [0, 2]
+        assert m.alus_on_copy(1) == [1, 3]
+
+    def test_supports_turnoff(self):
+        assert balanced_mapping(6, 2).supports_turnoff
+
+
+class TestCompletelyBalanced:
+    def test_one_port_each_copy(self):
+        m = completely_balanced_mapping(6, 2)
+        for alu in range(6):
+            assert sorted(m.copies_for(alu)) == [0, 1]
+
+    def test_cannot_turn_off_a_copy(self):
+        assert not completely_balanced_mapping(6, 2).supports_turnoff
+
+    def test_requires_two_copies(self):
+        with pytest.raises(ValueError):
+            completely_balanced_mapping(6, 3)
+
+
+class TestFactoriesAndValidation:
+    def test_make_mapping_dispatches(self):
+        for kind in MappingKind:
+            m = make_mapping(kind, 6, 2)
+            assert m.kind is kind
+
+    def test_uneven_split_rejected(self):
+        with pytest.raises(ValueError):
+            priority_mapping(5, 2)
+
+    def test_zero_copies_rejected(self):
+        with pytest.raises(ValueError):
+            balanced_mapping(6, 0)
+
+
+@given(n_alus=st.sampled_from([2, 4, 6, 8]),
+       kind=st.sampled_from(list(MappingKind)))
+@settings(max_examples=40, deadline=None)
+def test_every_mapping_covers_all_ports(n_alus, kind):
+    m = make_mapping(kind, n_alus, 2)
+    # Two ports per ALU, all wired somewhere.
+    assert sum(m.read_ports_per_copy()) == 2 * n_alus
+    # Each copy serves at least one port.
+    assert all(count > 0 for count in m.read_ports_per_copy())
+    # Turning off all copies blocks every ALU.
+    blocked = set()
+    for copy in range(2):
+        blocked.update(m.alus_on_copy(copy))
+    assert blocked == set(range(n_alus))

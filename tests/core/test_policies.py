@@ -1,0 +1,28 @@
+"""Tests for the policy configuration surface."""
+
+from repro.core.mapping import MappingKind
+from repro.core.policies import (ALL_TECHNIQUES, BASELINE, ALUPolicy,
+                                 IssueQueuePolicy, RegFilePolicy,
+                                 TechniqueConfig)
+
+
+class TestTechniqueConfig:
+    def test_defaults_are_conservative(self):
+        config = TechniqueConfig()
+        assert config.issue_queue is IssueQueuePolicy.BASE
+        assert config.alus is ALUPolicy.BASE
+
+    def test_round_robin_flag(self):
+        assert TechniqueConfig(alus=ALUPolicy.ROUND_ROBIN).round_robin_alus
+        assert not TechniqueConfig(alus=ALUPolicy.FINE_GRAIN).round_robin_alus
+
+    def test_presets(self):
+        assert ALL_TECHNIQUES.issue_queue is IssueQueuePolicy.ACTIVITY_TOGGLING
+        assert ALL_TECHNIQUES.alus is ALUPolicy.FINE_GRAIN
+        assert ALL_TECHNIQUES.regfile.fine_grain_turnoff
+        assert not BASELINE.regfile.fine_grain_turnoff
+
+    def test_regfile_policy_label(self):
+        policy = RegFilePolicy(MappingKind.BALANCED, fine_grain_turnoff=True)
+        assert "balanced" in policy.label()
+        assert "turnoff" in policy.label()

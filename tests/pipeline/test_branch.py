@@ -1,0 +1,60 @@
+"""Tests for branch predictors."""
+
+import pytest
+
+from repro.pipeline.branch import GSharePredictor, TracePredictor
+from repro.pipeline.isa import MicroOp, OpClass
+
+
+def branch(pc, taken=True, mispredicted=False):
+    return MicroOp(0, OpClass.BRANCH, src1=1, pc=pc, taken=taken,
+                   mispredicted=mispredicted)
+
+
+class TestGShare:
+    def test_learns_always_taken(self):
+        predictor = GSharePredictor(history_bits=8)
+        for _ in range(50):
+            predictor.mispredicted(branch(100, taken=True), taken=True)
+        wrong = sum(predictor.mispredicted(branch(100, True), True)
+                    for _ in range(50))
+        assert wrong == 0
+
+    def test_learns_alternating_pattern(self):
+        predictor = GSharePredictor(history_bits=8)
+        outcomes = [True, False] * 100
+        wrongs = [predictor.mispredicted(branch(64, t), t)
+                  for t in outcomes]
+        # After warm-up the global history disambiguates the pattern.
+        assert sum(wrongs[100:]) == 0
+
+    def test_stats_accumulate(self):
+        predictor = GSharePredictor()
+        for i in range(10):
+            predictor.mispredicted(branch(i * 4, True), True)
+        assert predictor.stats.branches == 10
+
+    def test_history_bits_validated(self):
+        with pytest.raises(ValueError):
+            GSharePredictor(history_bits=0)
+
+
+class TestTracePredictor:
+    def test_passes_through_stamp(self):
+        predictor = TracePredictor()
+        assert predictor.mispredicted(
+            branch(0, mispredicted=True), taken=True) is True
+        assert predictor.mispredicted(
+            branch(0, mispredicted=False), taken=True) is False
+
+    def test_rejects_non_branch(self):
+        predictor = TracePredictor()
+        with pytest.raises(ValueError):
+            predictor.mispredicted(MicroOp(0, OpClass.INT_ALU, dst=1),
+                                   taken=False)
+
+    def test_rate(self):
+        predictor = TracePredictor()
+        predictor.mispredicted(branch(0, mispredicted=True), True)
+        predictor.mispredicted(branch(0, mispredicted=False), True)
+        assert predictor.stats.mispredict_rate == pytest.approx(0.5)

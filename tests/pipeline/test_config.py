@@ -1,0 +1,65 @@
+"""Tests for configuration validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.pipeline.config import (CacheConfig, ProcessorConfig,
+                                   ThermalConfig, scaled_thermal)
+
+
+class TestProcessorConfig:
+    def test_defaults_match_paper_table2(self):
+        cfg = ProcessorConfig()
+        assert cfg.issue_width == 6
+        assert cfg.active_list_entries == 128
+        assert cfg.lsq_entries == 64
+        assert cfg.int_queue_entries == 32
+        assert cfg.fp_queue_entries == 32
+        assert cfg.num_int_alus == 6
+        assert cfg.num_fp_adders == 4
+        assert cfg.num_regfile_copies == 2
+        assert cfg.memory_latency == 250
+        assert cfg.l1d.size_bytes == 64 * 1024
+        assert cfg.l2.size_bytes == 2 * 1024 * 1024
+
+    def test_odd_queue_rejected(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(ProcessorConfig(), int_queue_entries=31)
+
+    def test_alu_copy_divisibility(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(ProcessorConfig(), num_int_alus=5)
+
+    def test_physical_regs_floor(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(ProcessorConfig(), num_physical_regs=100)
+
+
+class TestThermalConfig:
+    def test_defaults_match_paper(self):
+        cfg = ThermalConfig()
+        assert cfg.frequency_hz == pytest.approx(4.2e9)
+        assert cfg.vdd == pytest.approx(1.2)
+        assert cfg.max_temperature_k == pytest.approx(358.0)
+        assert cfg.convection_resistance_k_per_w == pytest.approx(0.8)
+        assert cfg.cooling_time_s == pytest.approx(10e-3)
+        assert cfg.heatsink_thickness_m == pytest.approx(6.9e-3)
+        assert cfg.toggle_threshold_k == pytest.approx(0.5)
+
+    def test_cooling_cycles_scale_with_acceleration(self):
+        slow = scaled_thermal(acceleration=1000.0)
+        fast = scaled_thermal(acceleration=4000.0)
+        assert slow.cooling_cycles == pytest.approx(
+            4 * fast.cooling_cycles, rel=0.01)
+
+    def test_ceiling_above_ambient(self):
+        with pytest.raises(ValueError):
+            scaled_thermal(max_temperature_k=300.0)
+
+    def test_acceleration_floor(self):
+        with pytest.raises(ValueError):
+            scaled_thermal(acceleration=0.5)
+
+    def test_cycle_time(self):
+        assert ThermalConfig().cycle_time_s == pytest.approx(1 / 4.2e9)

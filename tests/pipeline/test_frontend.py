@@ -1,0 +1,83 @@
+"""Tests for the fetch unit."""
+
+from repro.pipeline.branch import TracePredictor
+from repro.pipeline.frontend import FetchUnit
+from repro.pipeline.isa import MicroOp, OpClass
+
+
+def ops(n, branch_at=(), mispredicted=()):
+    for seq in range(n):
+        if seq in branch_at:
+            yield MicroOp(seq, OpClass.BRANCH, src1=1, taken=True,
+                          mispredicted=seq in mispredicted)
+        else:
+            yield MicroOp(seq, OpClass.INT_ALU, dst=1, src1=2, src2=3)
+
+
+def make_fetch(trace, width=4, penalty=5):
+    return FetchUnit(trace, width, TracePredictor(), penalty)
+
+
+class TestFetch:
+    def test_fetch_width_per_cycle(self):
+        fetch = make_fetch(ops(100), width=4)
+        fetch.begin_cycle()
+        fetch.fetch_cycle(1)
+        assert len(fetch.buffer) == 4
+
+    def test_buffer_capacity_bounds(self):
+        fetch = make_fetch(ops(100), width=4)
+        for cycle in range(1, 6):
+            fetch.begin_cycle()
+            fetch.fetch_cycle(cycle)
+        assert len(fetch.buffer) == fetch.buffer_capacity
+
+    def test_pop_and_unpop(self):
+        fetch = make_fetch(ops(100), width=4)
+        fetch.begin_cycle()
+        fetch.fetch_cycle(1)
+        popped = fetch.pop_ready(3)
+        assert [op.seq for op in popped] == [0, 1, 2]
+        fetch.unpop(popped[1:])
+        assert [op.seq for op in fetch.buffer][:2] == [1, 2]
+
+    def test_mispredict_blocks_fetch(self):
+        fetch = make_fetch(ops(100, branch_at={2}, mispredicted={2}),
+                           width=4)
+        fetch.begin_cycle()
+        fetch.fetch_cycle(1)
+        assert len(fetch.buffer) == 3  # stops after the bad branch
+        assert fetch.blocked
+        fetch.begin_cycle()
+        fetch.fetch_cycle(2)
+        assert len(fetch.buffer) == 3  # still blocked
+
+    def test_resolution_plus_penalty_resumes(self):
+        fetch = make_fetch(ops(100, branch_at={0}, mispredicted={0}),
+                           width=4, penalty=3)
+        fetch.begin_cycle()
+        fetch.fetch_cycle(1)
+        fetch.branch_resolved(0, now=10)
+        for cycle in (11, 12):
+            fetch.begin_cycle()
+            fetch.fetch_cycle(cycle)
+            assert len(fetch.buffer) == 1  # penalty not yet served
+        fetch.begin_cycle()
+        fetch.fetch_cycle(13)
+        assert len(fetch.buffer) > 1
+
+    def test_well_predicted_branch_does_not_block(self):
+        fetch = make_fetch(ops(100, branch_at={1}), width=4)
+        fetch.begin_cycle()
+        fetch.fetch_cycle(1)
+        assert not fetch.blocked
+        assert len(fetch.buffer) == 4
+
+    def test_drained(self):
+        fetch = make_fetch(ops(2), width=4)
+        fetch.begin_cycle()
+        fetch.fetch_cycle(1)
+        assert fetch.exhausted
+        assert not fetch.drained
+        fetch.pop_ready(10)
+        assert fetch.drained

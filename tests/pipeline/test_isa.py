@@ -1,0 +1,160 @@
+"""Tests for the micro-op ISA and the tiny assembly interpreter."""
+
+import pytest
+
+from repro.pipeline.isa import (DEFAULT_LATENCY, AssemblyError, MicroOp,
+                                OpClass, Program)
+
+
+class TestOpClass:
+    def test_fp_classes(self):
+        assert OpClass.FP_ADD.is_fp
+        assert OpClass.FP_MUL.is_fp
+        assert not OpClass.INT_ALU.is_fp
+        assert not OpClass.LOAD.is_fp
+
+    def test_mem_classes(self):
+        assert OpClass.LOAD.is_mem
+        assert OpClass.STORE.is_mem
+        assert not OpClass.BRANCH.is_mem
+
+    def test_every_class_has_latency(self):
+        for opclass in OpClass:
+            assert DEFAULT_LATENCY[opclass] >= 1
+
+
+class TestMicroOp:
+    def test_sources_skips_absent(self):
+        op = MicroOp(0, OpClass.INT_ALU, dst=3, src1=1)
+        assert op.sources() == (1,)
+
+    def test_sources_both(self):
+        op = MicroOp(0, OpClass.INT_ALU, dst=3, src1=1, src2=2)
+        assert op.sources() == (1, 2)
+
+    def test_sources_empty(self):
+        op = MicroOp(0, OpClass.NOP)
+        assert op.sources() == ()
+
+    def test_latency_from_class(self):
+        op = MicroOp(0, OpClass.INT_MUL, dst=1, src1=2, src2=3)
+        assert op.latency == DEFAULT_LATENCY[OpClass.INT_MUL]
+
+
+class TestProgramAssembly:
+    def test_empty_program_rejected(self):
+        with pytest.raises(AssemblyError):
+            Program("")
+
+    def test_comment_only_rejected(self):
+        with pytest.raises(AssemblyError):
+            Program("# nothing here\n   # still nothing")
+
+    def test_unknown_opcode(self):
+        with pytest.raises(AssemblyError, match="unknown opcode"):
+            Program("frobnicate r1, r2, r3")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            Program("a: nop\na: nop")
+
+    def test_bad_register(self):
+        # Operands are decoded when the instruction executes.
+        with pytest.raises(AssemblyError):
+            list(Program("add r1, r2, x3\nhalt").run())
+
+    def test_register_out_of_range(self):
+        with pytest.raises(AssemblyError, match="out of range"):
+            list(Program("add r31, r0, r32").run())
+
+    def test_labels_resolve(self):
+        program = Program("start: nop\nloop: jmp loop")
+        assert program.labels == {"start": 0, "loop": 1}
+
+
+class TestProgramExecution:
+    def test_simple_add(self):
+        regs = {1: 5, 2: 7}
+        program = Program("add r3, r1, r2\nhalt")
+        trace = list(program.run(registers=regs))
+        assert regs[3] == 12
+        assert [op.opclass for op in trace] == [OpClass.INT_ALU]
+
+    def test_r0_is_hardwired_zero(self):
+        regs = {}
+        program = Program("addi r0, r0, 99\nadd r1, r0, r0\nhalt")
+        list(program.run(registers=regs))
+        assert regs.get(1, 0) == 0
+
+    def test_loop_sums_memory(self):
+        # Sum mem[0..4*8) into r5.
+        source = """
+            addi r1, r0, 0       # pointer
+            addi r2, r0, 4       # count
+        loop:
+            ld   r3, r1, 0
+            add  r5, r5, r3
+            addi r1, r1, 8
+            addi r2, r2, -1
+            bne  r2, r0, loop
+            halt
+        """
+        memory = {0: 10, 8: 20, 16: 30, 24: 40}
+        regs = {}
+        trace = list(Program(source).run(registers=regs, memory=memory))
+        assert regs[5] == 100
+        branches = [op for op in trace if op.opclass is OpClass.BRANCH]
+        assert [b.taken for b in branches] == [True, True, True, False]
+
+    def test_store_writes_memory(self):
+        memory = {}
+        regs = {1: 42, 2: 64}
+        list(Program("st r1, r2, 8\nhalt").run(registers=regs,
+                                               memory=memory))
+        assert memory[72] == 42
+
+    def test_load_address_recorded(self):
+        regs = {2: 100}
+        trace = list(Program("ld r1, r2, 4\nhalt").run(registers=regs))
+        assert trace[0].mem_addr == 104
+
+    def test_mul(self):
+        regs = {1: 6, 2: 7}
+        list(Program("mul r3, r1, r2\nhalt").run(registers=regs))
+        assert regs[3] == 42
+
+    def test_fp_ops_emit_fp_classes(self):
+        trace = list(Program("fadd f1, f2, f3\nfmul f4, f1, f1\nhalt").run())
+        assert [op.opclass for op in trace] == [OpClass.FP_ADD,
+                                                OpClass.FP_MUL]
+
+    def test_jmp_is_taken_branch(self):
+        trace = list(Program("jmp end\nnop\nend: halt").run())
+        assert trace[0].opclass is OpClass.BRANCH
+        assert trace[0].taken
+        assert len(trace) == 1  # the skipped nop never executes
+
+    def test_runaway_guard(self):
+        program = Program("loop: jmp loop")
+        with pytest.raises(RuntimeError, match="exceeded"):
+            list(program.run(max_ops=100))
+
+    def test_sequence_numbers_monotone(self):
+        source = "addi r1, r0, 1\naddi r1, r1, 1\naddi r1, r1, 1\nhalt"
+        trace = list(Program(source).run())
+        assert [op.seq for op in trace] == [0, 1, 2]
+
+    def test_slt(self):
+        regs = {1: 3, 2: 9}
+        list(Program("slt r3, r1, r2\nslt r4, r2, r1\nhalt")
+             .run(registers=regs))
+        assert regs[3] == 1
+        assert regs[4] == 0
+
+    def test_logical_ops(self):
+        regs = {1: 0b1100, 2: 0b1010}
+        list(Program("and r3, r1, r2\nor r4, r1, r2\nxor r5, r1, r2\nhalt")
+             .run(registers=regs))
+        assert regs[3] == 0b1000
+        assert regs[4] == 0b1110
+        assert regs[5] == 0b0110

@@ -1,0 +1,152 @@
+"""Tests for rename and the replicated register file."""
+
+import pytest
+
+from repro.core.mapping import (balanced_mapping,
+                                completely_balanced_mapping,
+                                priority_mapping)
+from repro.pipeline.isa import MicroOp, OpClass
+from repro.pipeline.regfile import (RegisterFileBank, RenameError,
+                                    RenameTable)
+
+
+def int_op(seq, dst=None, src1=None, src2=None):
+    return MicroOp(seq, OpClass.INT_ALU, dst=dst, src1=src1, src2=src2)
+
+
+class TestRenameTable:
+    def test_initial_mappings_ready(self):
+        table = RenameTable(8, 32)
+        for arch in range(8):
+            assert table.is_ready(table.lookup(arch))
+
+    def test_rename_allocates_fresh_tag(self):
+        table = RenameTable(8, 32)
+        renamed = table.rename(int_op(0, dst=1, src1=2))
+        assert renamed.dst_tag not in range(8)
+        assert not table.is_ready(renamed.dst_tag)
+        assert table.lookup(1) == renamed.dst_tag
+
+    def test_sources_resolve_through_map(self):
+        table = RenameTable(8, 32)
+        first = table.rename(int_op(0, dst=1))
+        second = table.rename(int_op(1, dst=3, src1=1))
+        assert second.src_tags == (first.dst_tag,)
+
+    def test_freed_tag_is_previous_mapping(self):
+        table = RenameTable(8, 32)
+        old = table.lookup(1)
+        renamed = table.rename(int_op(0, dst=1))
+        assert renamed.freed_tag == old
+
+    def test_release_recycles(self):
+        table = RenameTable(8, 32)
+        renamed = table.rename(int_op(0, dst=1))
+        free_before = table.free_count()
+        table.release(renamed.freed_tag)
+        assert table.free_count() == free_before + 1
+
+    def test_release_none_is_noop(self):
+        table = RenameTable(8, 32)
+        table.release(None)
+
+    def test_double_release_rejected(self):
+        table = RenameTable(8, 32)
+        renamed = table.rename(int_op(0, dst=1))
+        table.release(renamed.freed_tag)
+        with pytest.raises(ValueError):
+            table.release(renamed.freed_tag)
+
+    def test_exhaustion_raises(self):
+        table = RenameTable(4, 8)
+        for i in range(4):
+            table.rename(int_op(i, dst=1))
+        with pytest.raises(RenameError):
+            table.rename(int_op(9, dst=1))
+
+    def test_too_small_physical_file_rejected(self):
+        with pytest.raises(ValueError):
+            RenameTable(8, 8)
+
+    def test_fp_offset_separates_namespaces(self):
+        table = RenameTable(16, 64)
+        fp_op = MicroOp(0, OpClass.FP_ADD, dst=1, src1=1, src2=2)
+        renamed = table.rename(fp_op, fp_offset=8)
+        assert table.lookup(8 + 1) == renamed.dst_tag
+        # Integer r1 mapping untouched.
+        assert table.lookup(1) == 1
+
+    def test_waw_chain_each_gets_new_tag(self):
+        table = RenameTable(8, 32)
+        tags = {table.rename(int_op(i, dst=1)).dst_tag for i in range(4)}
+        assert len(tags) == 4
+
+
+class TestRegisterFileBank:
+    def test_reads_charged_to_mapped_copy_priority(self):
+        bank = RegisterFileBank(priority_mapping(6, 2))
+        bank.read_for_issue(alu=0, n_operands=2)
+        bank.read_for_issue(alu=5, n_operands=2)
+        assert bank.counters.reads == [2, 2]
+
+    def test_reads_charged_to_mapped_copy_balanced(self):
+        bank = RegisterFileBank(balanced_mapping(6, 2))
+        bank.read_for_issue(alu=0, n_operands=2)
+        bank.read_for_issue(alu=1, n_operands=2)
+        assert bank.counters.reads == [2, 2]
+
+    def test_completely_balanced_splits_operands(self):
+        bank = RegisterFileBank(completely_balanced_mapping(6, 2))
+        bank.read_for_issue(alu=0, n_operands=2)
+        assert bank.counters.reads == [1, 1]
+
+    def test_single_operand_uses_first_port(self):
+        bank = RegisterFileBank(priority_mapping(6, 2))
+        bank.read_for_issue(alu=3, n_operands=1)
+        assert bank.counters.reads == [0, 1]
+
+    def test_operand_count_validated(self):
+        bank = RegisterFileBank(priority_mapping(6, 2))
+        with pytest.raises(ValueError):
+            bank.read_for_issue(alu=0, n_operands=3)
+
+    def test_writes_go_to_all_copies(self):
+        bank = RegisterFileBank(priority_mapping(6, 2))
+        bank.write()
+        assert bank.counters.writes == [1, 1]
+
+    def test_writes_continue_to_turned_off_copy(self):
+        bank = RegisterFileBank(priority_mapping(6, 2))
+        bank.turn_off(0)
+        bank.write()
+        assert bank.counters.writes == [1, 1]
+
+    def test_turnoff_returns_mapped_alus(self):
+        bank = RegisterFileBank(priority_mapping(6, 2))
+        assert bank.turn_off(0) == [0, 1, 2]
+        assert bank.blocked_alus() == {0, 1, 2}
+
+    def test_read_from_off_copy_rejected(self):
+        bank = RegisterFileBank(priority_mapping(6, 2))
+        bank.turn_off(0)
+        with pytest.raises(RuntimeError):
+            bank.read_for_issue(alu=0, n_operands=2)
+
+    def test_turn_on_restores_reads(self):
+        bank = RegisterFileBank(priority_mapping(6, 2))
+        bank.turn_off(0)
+        bank.turn_on(0)
+        bank.read_for_issue(alu=0, n_operands=2)
+        assert bank.counters.reads[0] == 2
+
+    def test_all_off(self):
+        bank = RegisterFileBank(priority_mapping(6, 2))
+        assert not bank.all_off()
+        bank.turn_off(0)
+        bank.turn_off(1)
+        assert bank.all_off()
+
+    def test_bad_copy_index(self):
+        bank = RegisterFileBank(priority_mapping(6, 2))
+        with pytest.raises(IndexError):
+            bank.turn_off(5)

@@ -1,0 +1,136 @@
+"""Tests for select trees and the serialized select network."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.isa import MicroOp, OpClass
+from repro.pipeline.issue_queue import CompactingIssueQueue, QueueMode
+from repro.pipeline.select import SelectNetwork, SelectTree
+
+
+def ready_op(seq):
+    return MicroOp(seq, OpClass.INT_ALU, dst=1, src1=2, src2=3)
+
+
+def queue_with_ready(n, positions, toggle=False):
+    """A queue with ready entries at the given *logical* positions."""
+    q = CompactingIssueQueue(n, 2, replay_window=1)
+    if toggle:
+        q.toggle()
+    top = max(positions) + 1 if positions else 0
+    for logical in range(top):
+        waiting = set() if logical in positions else {999}
+        q.insert(ready_op(logical), logical, waiting)
+    return q
+
+
+class TestSelectTree:
+    def test_grants_lowest_physical_in_normal_mode(self):
+        tree = SelectTree(16)
+        requests = [False] * 16
+        requests[5] = requests[9] = True
+        assert tree.select(requests, QueueMode.NORMAL) == 5
+
+    def test_toggled_mode_prefers_upper_half(self):
+        tree = SelectTree(16)
+        requests = [False] * 16
+        requests[3] = requests[10] = True
+        assert tree.select(requests, QueueMode.TOGGLED) == 10
+
+    def test_no_request_no_grant(self):
+        tree = SelectTree(16)
+        assert tree.select([False] * 16, QueueMode.NORMAL) is None
+
+    def test_rejects_odd_sizes(self):
+        with pytest.raises(ValueError):
+            SelectTree(15)
+
+    def test_rejects_wrong_vector_length(self):
+        tree = SelectTree(16)
+        with pytest.raises(ValueError):
+            tree.select([True] * 8, QueueMode.NORMAL)
+
+
+class TestSelectNetwork:
+    def test_serialized_grants_in_priority_order(self):
+        q = queue_with_ready(16, {0, 1, 2, 3})
+        net = SelectNetwork(16, 3)
+        grants = net.arbitrate(q, [False] * 3)
+        assert grants == [0, 1, 2]
+
+    def test_busy_tree_skipped(self):
+        q = queue_with_ready(16, {0, 1})
+        net = SelectNetwork(16, 3)
+        grants = net.arbitrate(q, [True, False, False])
+        assert grants == [None, 0, 1]
+
+    def test_limit_caps_grants(self):
+        q = queue_with_ready(16, {0, 1, 2, 3, 4})
+        net = SelectNetwork(16, 6)
+        grants = net.arbitrate(q, [False] * 6, limit=2)
+        assert sum(g is not None for g in grants) == 2
+
+    def test_eligibility_filter(self):
+        q = queue_with_ready(16, {0, 1, 2})
+        net = SelectNetwork(16, 2)
+        grants = net.arbitrate(q, [False] * 2, eligible=lambda p: p != 0)
+        assert grants == [1, 2]
+
+    def test_round_robin_rotates_priority(self):
+        net = SelectNetwork(16, 4, round_robin=True)
+        first_trees = []
+        for _ in range(4):
+            q = queue_with_ready(16, {0})
+            grants = net.arbitrate(q, [False] * 4)
+            first_trees.append(grants.index(0))
+        assert first_trees == [0, 1, 2, 3]
+
+    def test_static_priority_concentrates_grants(self):
+        net = SelectNetwork(16, 4)
+        for _ in range(10):
+            q = queue_with_ready(16, {0})
+            net.arbitrate(q, [False] * 4)
+        assert net.counters.grants_per_tree == [10, 0, 0, 0]
+
+    def test_round_robin_balances_grants(self):
+        net = SelectNetwork(16, 4, round_robin=True)
+        for _ in range(12):
+            q = queue_with_ready(16, {0})
+            net.arbitrate(q, [False] * 4)
+        assert net.counters.grants_per_tree == [3, 3, 3, 3]
+
+    def test_wrong_busy_length_rejected(self):
+        q = queue_with_ready(16, {0})
+        net = SelectNetwork(16, 4)
+        with pytest.raises(ValueError):
+            net.arbitrate(q, [False] * 3)
+
+
+# ---------------------------------------------------------------------------
+# equivalence of the fast path and the per-tree hardware walk
+# ---------------------------------------------------------------------------
+
+@given(positions=st.sets(st.integers(min_value=0, max_value=15),
+                         max_size=16),
+       toggled=st.booleans(),
+       busy=st.lists(st.booleans(), min_size=4, max_size=4))
+@settings(max_examples=150, deadline=None)
+def test_fast_path_matches_hardware_trees(positions, toggled, busy):
+    q1 = queue_with_ready(16, positions, toggle=toggled)
+    q2 = queue_with_ready(16, positions, toggle=toggled)
+    fast = SelectNetwork(16, 4)
+    slow = SelectNetwork(16, 4)
+    assert fast.arbitrate(q1, busy) == slow.arbitrate_with_trees(q2, busy)
+
+
+@given(positions=st.sets(st.integers(min_value=0, max_value=15),
+                         max_size=16),
+       toggled=st.booleans())
+@settings(max_examples=100, deadline=None)
+def test_no_double_grants(positions, toggled):
+    q = queue_with_ready(16, positions, toggle=toggled)
+    net = SelectNetwork(16, 6)
+    grants = [g for g in net.arbitrate(q, [False] * 6) if g is not None]
+    assert len(grants) == len(set(grants))
+    assert len(grants) == min(6, len(positions))

@@ -1,0 +1,82 @@
+"""Tests for the power accountant."""
+
+import pytest
+
+from repro.pipeline.processor import Processor
+from repro.power.accounting import PowerAccountant
+from repro.thermal.floorplan import FloorplanVariant, ev6_floorplan
+from repro.workloads import workload
+
+INTERVAL_S = 1000 / 4.2e9
+
+
+def accountant_and_processor(bench="gzip"):
+    plan = ev6_floorplan(FloorplanVariant.BASE)
+    acc = PowerAccountant(plan)
+    w = workload(bench)
+    p = Processor(w)
+    l1, l2 = w.warm_footprint()
+    p.memory.warm(l1, l2)
+    return acc, p
+
+
+class TestPowerAccountant:
+    def test_requires_baseline(self):
+        acc, p = accountant_and_processor()
+        with pytest.raises(RuntimeError):
+            acc.sample(p.activity_snapshot(), INTERVAL_S)
+
+    def test_interval_validated(self):
+        acc, p = accountant_and_processor()
+        acc.reset(p.activity_snapshot())
+        with pytest.raises(ValueError):
+            acc.sample(p.activity_snapshot(), 0.0)
+
+    def test_idle_interval_is_leakage_only(self):
+        acc, p = accountant_and_processor()
+        acc.reset(p.activity_snapshot())
+        powers = acc.sample(p.activity_snapshot(), INTERVAL_S)
+        assert powers == acc.leakage_powers()
+
+    def test_active_interval_exceeds_leakage(self):
+        acc, p = accountant_and_processor()
+        acc.reset(p.activity_snapshot())
+        p.run(1000)
+        powers = acc.sample(p.activity_snapshot(), INTERVAL_S)
+        leak = acc.leakage_powers()
+        assert powers["IntExec0"] > leak["IntExec0"]
+        assert powers["Icache"] > leak["Icache"]
+        assert powers["IntQ0"] > leak["IntQ0"]
+
+    def test_every_block_has_power(self):
+        acc, p = accountant_and_processor()
+        acc.reset(p.activity_snapshot())
+        p.run(500)
+        powers = acc.sample(p.activity_snapshot(), INTERVAL_S)
+        assert set(powers) == set(acc.floorplan.names)
+        assert all(v > 0 for v in powers.values())
+
+    def test_alu_power_follows_priority_ladder(self):
+        acc, p = accountant_and_processor("parser")
+        acc.reset(p.activity_snapshot())
+        p.run(4000)
+        powers = acc.sample(p.activity_snapshot(), 4000 / 4.2e9)
+        assert powers["IntExec0"] > powers["IntExec5"]
+
+    def test_consecutive_samples_diff_correctly(self):
+        acc, p = accountant_and_processor()
+        acc.reset(p.activity_snapshot())
+        p.run(1000)
+        first = acc.sample(p.activity_snapshot(), INTERVAL_S)
+        # No further work: next sample must fall back to leakage.
+        second = acc.sample(p.activity_snapshot(), INTERVAL_S)
+        assert second == acc.leakage_powers()
+        assert first != second
+
+    def test_typical_powers_bounds(self):
+        acc, _ = accountant_and_processor()
+        with pytest.raises(ValueError):
+            acc.typical_powers(1.5)
+        powers = acc.typical_powers(0.5)
+        leak = acc.leakage_powers()
+        assert all(powers[n] > leak[n] for n in powers)

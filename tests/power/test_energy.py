@@ -1,0 +1,47 @@
+"""Tests for the energy model, including the paper's Table 3."""
+
+import pytest
+
+from repro.power.energy import (DEFAULT_ENERGY_MODEL, EnergyModel,
+                                IssueQueueEnergies)
+
+
+class TestTable3:
+    """The issue-queue component energies are the paper's Table 3,
+    reproduced verbatim (nanojoules)."""
+
+    def test_values_match_paper(self):
+        e = IssueQueueEnergies()
+        assert e.compact_entry == pytest.approx(0.0123)
+        assert e.compact_mux == pytest.approx(0.0023)
+        assert e.long_compaction == pytest.approx(0.0687)
+        assert e.counter_stage1 == pytest.approx(0.0011)
+        assert e.counter_stage2 == pytest.approx(0.0021)
+        assert e.clock_gating == pytest.approx(0.0015)
+        assert e.tag_broadcast == pytest.approx(0.0450)
+        assert e.payload_ram == pytest.approx(0.0675)
+        assert e.select_access == pytest.approx(0.0051)
+
+    def test_table_has_all_nine_rows(self):
+        assert len(IssueQueueEnergies().as_table()) == 9
+
+    def test_long_compaction_most_expensive_wire(self):
+        e = IssueQueueEnergies()
+        assert e.long_compaction > e.compact_entry > e.compact_mux
+
+
+class TestEnergyModel:
+    def test_leakage_scales_with_area(self):
+        model = EnergyModel()
+        assert model.leakage_watts("Icache", 2e-6) == pytest.approx(
+            2 * model.leakage_watts("Icache", 1e-6))
+
+    def test_override_applies(self):
+        model = EnergyModel(leakage_overrides={"IntQ0": 1e6})
+        generic = model.leakage_watts("Dcache", 1e-6)
+        queue = model.leakage_watts("IntQ0", 1e-6)
+        assert queue != generic
+        assert queue == pytest.approx(1.0)
+
+    def test_default_model_exists(self):
+        assert DEFAULT_ENERGY_MODEL.int_alu_op > 0

@@ -1,0 +1,76 @@
+"""Miniature runs of the per-figure experiment harnesses."""
+
+import pytest
+
+from repro.sim.experiments import (RF_CONFIGS, alu_experiment,
+                                   issue_queue_experiment,
+                                   regfile_experiment)
+
+BENCHES = ("parser", "gzip")
+CYCLES = 4_000
+
+
+@pytest.fixture(scope="module")
+def iq_exp():
+    return issue_queue_experiment(benchmarks=BENCHES, max_cycles=CYCLES)
+
+
+@pytest.fixture(scope="module")
+def alu_exp():
+    return alu_experiment(benchmarks=BENCHES, max_cycles=CYCLES)
+
+
+@pytest.fixture(scope="module")
+def rf_exp():
+    return regfile_experiment(benchmarks=BENCHES, max_cycles=CYCLES)
+
+
+class TestIssueQueueExperiment:
+    def test_covers_benchmarks(self, iq_exp):
+        assert iq_exp.benchmarks == list(BENCHES)
+
+    def test_figure6_rows(self, iq_exp):
+        rows = iq_exp.figure6_rows()
+        assert len(rows) == len(BENCHES)
+        for bench, toggling, base, ratio in rows:
+            assert toggling > 0 and base > 0
+
+    def test_table4_rows(self, iq_exp):
+        rows = iq_exp.table4_rows(("parser",))
+        assert len(rows) == 2  # toggling + base
+        for _, _, tail, head in rows:
+            assert tail >= head
+
+    def test_format_renders(self, iq_exp):
+        text = iq_exp.format()
+        assert "Figure 6" in text
+        assert "parser" in text
+
+
+class TestALUExperiment:
+    def test_three_policies(self, alu_exp):
+        for bench, rr, fg, base in alu_exp.figure7_rows():
+            assert rr > 0 and fg > 0 and base > 0
+
+    def test_table5_has_six_alus(self, alu_exp):
+        for _, _, _, temps in alu_exp.table5_rows(("parser",)):
+            assert len(temps) == 6
+
+    def test_format_renders(self, alu_exp):
+        assert "Figure 7" in alu_exp.format()
+
+
+class TestRegFileExperiment:
+    def test_four_configs(self, rf_exp):
+        assert set(rf_exp.results) == set(RF_CONFIGS)
+
+    def test_table6_order(self, rf_exp):
+        rows = rf_exp.table6_rows("parser")
+        assert [r[0] for r in rows] == [
+            "fine-grain + priority", "fine-grain + balanced",
+            "balanced only", "priority only"]
+
+    def test_format_renders(self, rf_exp):
+        text = rf_exp.format()
+        assert "Figure 8" in text
+        assert "priority" in text

@@ -1,0 +1,71 @@
+"""Tests for result records and formatting."""
+
+import pytest
+
+from repro.sim.results import (SimulationResult, format_table,
+                               geometric_mean_speedup, mean_speedup,
+                               speedup)
+
+
+def result(ipc_cycles=(1000, 1000), **overrides):
+    committed, cycles = ipc_cycles
+    params = dict(
+        benchmark="x", technique_label="t", cycles=cycles,
+        committed=committed, stall_cycles=0, global_stalls=0,
+        stall_reasons={}, iq_toggles=0, alu_turnoffs=0, rf_turnoffs=0,
+        mean_temps={"IntQ0": 350.0}, max_temps={"IntQ0": 355.0},
+    )
+    params.update(overrides)
+    return SimulationResult(**params)
+
+
+class TestSimulationResult:
+    def test_ipc(self):
+        assert result((1500, 1000)).ipc == pytest.approx(1.5)
+
+    def test_zero_cycles(self):
+        assert result((0, 0)).ipc == 0.0
+
+    def test_temp_accessors(self):
+        r = result()
+        assert r.mean_temp("IntQ0") == pytest.approx(350.0)
+        assert r.max_temp("IntQ0") == pytest.approx(355.0)
+
+
+class TestSpeedupMath:
+    def test_speedup(self):
+        fast, slow = result((1200, 1000)), result((1000, 1000))
+        assert speedup(fast, slow) == pytest.approx(0.2)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(result(), result((0, 1000)))
+
+    def test_mean_speedup(self):
+        pairs = [(result((1100, 1000)), result((1000, 1000))),
+                 (result((1300, 1000)), result((1000, 1000)))]
+        assert mean_speedup(pairs) == pytest.approx(0.2)
+
+    def test_geometric_mean_speedup(self):
+        pairs = [(result((2000, 1000)), result((1000, 1000))),
+                 (result((500, 1000)), result((1000, 1000)))]
+        assert geometric_mean_speedup(pairs) == pytest.approx(0.0)
+
+    def test_empty_pairs_rejected(self):
+        with pytest.raises(ValueError):
+            mean_speedup([])
+
+
+class TestFormatTable:
+    def test_renders_rows(self):
+        text = format_table(("a", "b"), [(1, 2.5), ("x", 3.0)],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "2.50" in text
+        assert "x" in text
+
+    def test_alignment_consistent(self):
+        text = format_table(("col",), [(1,), (100,)])
+        lines = text.splitlines()
+        assert len(set(len(line) for line in lines)) == 1

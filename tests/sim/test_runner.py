@@ -1,0 +1,68 @@
+"""Tests for the simulation runner (small end-to-end runs)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.policies import ALUPolicy, IssueQueuePolicy, TechniqueConfig
+from repro.sim.runner import SimulationConfig, Simulator, run_simulation
+from repro.thermal.floorplan import FloorplanVariant
+
+
+def small_config(**overrides):
+    params = dict(benchmark="gzip", max_cycles=3_000, warmup_cycles=1_000)
+    params.update(overrides)
+    return SimulationConfig(**params)
+
+
+class TestSimulator:
+    def test_runs_and_reports(self):
+        result = run_simulation(small_config())
+        assert result.cycles == 3_000
+        assert result.committed > 0
+        assert result.benchmark == "gzip"
+        assert set(result.mean_temps) == set(result.max_temps)
+
+    def test_temperatures_are_physical(self):
+        result = run_simulation(small_config())
+        for name, temp in result.mean_temps.items():
+            assert 315.0 <= temp <= 420.0, name
+            assert result.max_temps[name] >= temp - 1e-9
+
+    def test_deterministic(self):
+        a = run_simulation(small_config())
+        b = run_simulation(small_config())
+        assert a.committed == b.committed
+        assert a.mean_temps == b.mean_temps
+
+    def test_seed_changes_stream(self):
+        a = run_simulation(small_config(seed=1))
+        b = run_simulation(small_config(seed=2))
+        assert a.committed != b.committed
+
+    def test_warmup_not_measured(self):
+        result = run_simulation(small_config(max_cycles=2_000,
+                                             warmup_cycles=2_000))
+        assert result.cycles == 2_000
+
+    def test_label_from_techniques(self):
+        config = small_config(
+            techniques=TechniqueConfig(alus=ALUPolicy.FINE_GRAIN))
+        assert "fine_grain" in config.label()
+        labelled = small_config(technique_label="mine")
+        assert labelled.label() == "mine"
+
+    def test_constrained_variant_heats_target(self):
+        result = run_simulation(small_config(
+            benchmark="perlbmk", variant=FloorplanVariant.ALU,
+            max_cycles=6_000, warmup_cycles=3_000))
+        alu = result.mean_temps["IntExec0"]
+        cache = result.mean_temps["Icache"]
+        assert alu > cache
+
+    def test_simulator_exposes_components(self):
+        sim = Simulator(small_config())
+        assert sim.processor is not None
+        assert sim.thermal is not None
+        assert sim.dtm is not None
+        assert sim.floorplan.variant is FloorplanVariant.BASE

@@ -1,0 +1,39 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "perlbmk" in out and "mesa" in out
+
+    def test_run_smoke(self, capsys):
+        code = main(["run", "gzip", "--cycles", "2000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "hottest blocks" in out
+
+    def test_run_with_techniques(self, capsys):
+        code = main(["run", "parser", "--variant", "alu",
+                     "--alus", "fine_grain", "--cycles", "2000"])
+        assert code == 0
+
+    def test_figure_smoke(self, capsys):
+        code = main(["figure", "7", "--benchmarks", "parser",
+                     "--cycles", "2000"])
+        assert code == 0
+        assert "Figure 7" in capsys.readouterr().out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "6", "--benchmarks", "doom3",
+                  "--cycles", "2000"])
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

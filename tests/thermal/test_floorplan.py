@@ -1,0 +1,102 @@
+"""Tests for floorplan geometry."""
+
+import itertools
+
+import pytest
+
+from repro.thermal.floorplan import (Block, Floorplan, FloorplanVariant,
+                                     FP_ADD_BLOCKS, INT_ALU_BLOCKS,
+                                     INT_QUEUE_BLOCKS, INT_REG_BLOCKS,
+                                     ev6_floorplan)
+
+
+class TestBlock:
+    def test_area(self):
+        block = Block("a", 0, 0, 2e-3, 3e-3)
+        assert block.area == pytest.approx(6e-6)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Block("a", 0, 0, 0, 1e-3)
+
+    def test_shared_edge_vertical_neighbours(self):
+        a = Block("a", 0, 0, 1e-3, 1e-3)
+        b = Block("b", 0, 1e-3, 1e-3, 1e-3)
+        assert a.shared_edge(b) == pytest.approx(1e-3)
+
+    def test_shared_edge_partial_overlap(self):
+        a = Block("a", 0, 0, 1e-3, 1e-3)
+        b = Block("b", 1e-3, 0.5e-3, 1e-3, 1e-3)
+        assert a.shared_edge(b) == pytest.approx(0.5e-3)
+
+    def test_no_edge_for_distant_blocks(self):
+        a = Block("a", 0, 0, 1e-3, 1e-3)
+        b = Block("b", 5e-3, 5e-3, 1e-3, 1e-3)
+        assert a.shared_edge(b) == 0.0
+
+
+def overlap(a: Block, b: Block) -> float:
+    w = min(a.x2, b.x2) - max(a.x, b.x)
+    h = min(a.y2, b.y2) - max(a.y, b.y)
+    return max(0.0, w) * max(0.0, h)
+
+
+@pytest.mark.parametrize("variant", list(FloorplanVariant))
+class TestEV6Floorplan:
+    def test_blocks_do_not_overlap(self, variant):
+        plan = ev6_floorplan(variant)
+        for a, b in itertools.combinations(plan.blocks.values(), 2):
+            assert overlap(a, b) < 1e-12, (a.name, b.name)
+
+    def test_tiles_full_die(self, variant):
+        plan = ev6_floorplan(variant)
+        assert plan.total_area() == pytest.approx(64e-6, rel=1e-6)
+
+    def test_required_granularity(self, variant):
+        plan = ev6_floorplan(variant)
+        for name in (*INT_ALU_BLOCKS, *FP_ADD_BLOCKS, *INT_REG_BLOCKS,
+                     *INT_QUEUE_BLOCKS, "FPQ0", "FPQ1", "FPMul", "FPReg",
+                     "Icache", "Dcache"):
+            assert name in plan
+
+    def test_queue_halves_equal_area(self, variant):
+        plan = ev6_floorplan(variant)
+        assert plan.area("IntQ0") == pytest.approx(plan.area("IntQ1"))
+        assert plan.area("FPQ0") == pytest.approx(plan.area("FPQ1"))
+
+    def test_adjacency_has_positive_edges(self, variant):
+        plan = ev6_floorplan(variant)
+        pairs = plan.adjacency()
+        assert pairs
+        assert all(edge > 0 for _, _, edge in pairs)
+
+    def test_queue_halves_are_adjacent(self, variant):
+        plan = ev6_floorplan(variant)
+        assert plan["IntQ0"].shared_edge(plan["IntQ1"]) > 0
+
+
+class TestConstrainedVariants:
+    def test_issue_queue_variant_shrinks_queues(self):
+        base = ev6_floorplan(FloorplanVariant.BASE)
+        constrained = ev6_floorplan(FloorplanVariant.ISSUE_QUEUE)
+        assert constrained.area("IntQ0") < 0.5 * base.area("IntQ0")
+
+    def test_alu_variant_shrinks_alus(self):
+        base = ev6_floorplan(FloorplanVariant.BASE)
+        constrained = ev6_floorplan(FloorplanVariant.ALU)
+        assert constrained.area("IntExec0") < 0.5 * base.area("IntExec0")
+
+    def test_regfile_variant_shrinks_copies(self):
+        base = ev6_floorplan(FloorplanVariant.BASE)
+        constrained = ev6_floorplan(FloorplanVariant.REGFILE)
+        assert constrained.area("IntReg0") < 0.5 * base.area("IntReg0")
+
+    def test_scale_bounds_validated(self):
+        with pytest.raises(ValueError):
+            ev6_floorplan(FloorplanVariant.BASE, iq_scale=0.01)
+
+    def test_duplicate_names_rejected(self):
+        blocks = [Block("a", 0, 0, 1e-3, 1e-3),
+                  Block("a", 1e-3, 0, 1e-3, 1e-3)]
+        with pytest.raises(ValueError):
+            Floorplan(blocks)

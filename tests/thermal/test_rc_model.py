@@ -1,0 +1,157 @@
+"""Tests for the RC thermal network."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.thermal.floorplan import FloorplanVariant, ev6_floorplan
+from repro.thermal.package import PackageConfig
+from repro.thermal.rc_model import SINK_NODE, ThermalModel
+
+AMBIENT = 315.0
+
+
+def make_model(acceleration=1.0):
+    return ThermalModel(ev6_floorplan(FloorplanVariant.BASE),
+                        ambient_k=AMBIENT, acceleration=acceleration)
+
+
+def uniform_powers(model, watts):
+    return {name: watts for name in model.floorplan.names}
+
+
+class TestSteadyState:
+    def test_zero_power_settles_at_ambient(self):
+        model = make_model()
+        steady = model.steady_state({})
+        for temp in steady.values():
+            assert temp == pytest.approx(AMBIENT, abs=1e-6)
+
+    def test_sink_rise_equals_power_times_convection(self):
+        model = make_model()
+        total = 25.0
+        per_block = total / len(model.floorplan.names)
+        steady = model.steady_state(uniform_powers(model, per_block))
+        expected = AMBIENT + total * model.package.convection_resistance
+        assert steady[SINK_NODE] == pytest.approx(expected, rel=1e-6)
+
+    def test_more_power_means_hotter_block(self):
+        model = make_model()
+        powers = uniform_powers(model, 1.0)
+        powers["IntExec0"] = 3.0
+        steady = model.steady_state(powers)
+        assert steady["IntExec0"] > steady["IntExec5"] + 0.5
+
+    def test_vertical_dominates_lateral(self):
+        """A hot block's immediate neighbour stays much cooler than the
+        hot block itself (the paper's premise)."""
+        model = make_model()
+        powers = {name: 0.5 for name in model.floorplan.names}
+        powers["IntExec0"] = 4.0
+        steady = model.steady_state(powers)
+        hot_rise = steady["IntExec0"] - steady[SINK_NODE]
+        # IntExec0's physical row neighbour:
+        neighbour_rise = steady["IntExec5"] - steady[SINK_NODE]
+        assert neighbour_rise < 0.55 * hot_rise
+
+
+class TestTransient:
+    def test_step_converges_to_steady_state(self):
+        """Die blocks converge to their steady-state *offsets above the
+        sink* quickly; the sink itself is deliberately slow (its time
+        constant is the package's, not the die's)."""
+        model = make_model(acceleration=1000.0)
+        powers = uniform_powers(model, 0.8)
+        steady = model.steady_state(powers)
+        for _ in range(8000):
+            model.step(powers, dt=1e-6)
+        sink_now = model.sink_temperature()
+        sink_ss = steady[SINK_NODE]
+        for name in model.floorplan.names:
+            offset_now = model.temperature(name) - sink_now
+            offset_ss = steady[name] - sink_ss
+            assert abs(offset_now - offset_ss) < 0.5, name
+
+    def test_monotone_heating_from_cold(self):
+        model = make_model(acceleration=1000.0)
+        powers = uniform_powers(model, 1.0)
+        last = model.temperature("IntExec0")
+        for _ in range(50):
+            model.step(powers, dt=1e-6)
+            current = model.temperature("IntExec0")
+            assert current >= last - 1e-9
+            last = current
+
+    def test_cooling_after_power_drop(self):
+        model = make_model(acceleration=1000.0)
+        hot = uniform_powers(model, 2.0)
+        for _ in range(2000):
+            model.step(hot, dt=1e-6)
+        peak = model.temperature("IntExec0")
+        for _ in range(500):
+            model.step({}, dt=1e-6)
+        assert model.temperature("IntExec0") < peak
+
+    def test_acceleration_speeds_dynamics(self):
+        slow = make_model(acceleration=1.0)
+        fast = make_model(acceleration=100.0)
+        powers_slow = uniform_powers(slow, 1.0)
+        for _ in range(100):
+            slow.step(powers_slow, dt=1e-6)
+            fast.step(powers_slow, dt=1e-6)
+        assert (fast.temperature("IntExec0")
+                > slow.temperature("IntExec0") + 0.1)
+
+    def test_bad_dt_rejected(self):
+        with pytest.raises(ValueError):
+            make_model().step({}, dt=0.0)
+
+    def test_bad_acceleration_rejected(self):
+        with pytest.raises(ValueError):
+            make_model(acceleration=0.1)
+
+
+class TestStateAccess:
+    def test_initialize_steady_state(self):
+        model = make_model()
+        powers = uniform_powers(model, 1.0)
+        model.initialize_steady_state(powers)
+        steady = model.steady_state(powers)
+        for name in model.floorplan.names:
+            assert model.temperature(name) == pytest.approx(steady[name])
+
+    def test_temperatures_excludes_sink(self):
+        model = make_model()
+        temps = model.temperatures()
+        assert SINK_NODE not in temps
+        assert set(temps) == set(model.floorplan.names)
+
+    def test_hottest(self):
+        model = make_model()
+        model.set_temperatures({"IntReg0": 400.0})
+        assert model.hottest() == "IntReg0"
+
+
+@given(watts=st.floats(min_value=0.0, max_value=5.0))
+@settings(max_examples=25, deadline=None)
+def test_steady_state_never_below_ambient(watts):
+    model = make_model()
+    steady = model.steady_state(uniform_powers(model, watts))
+    assert all(t >= AMBIENT - 1e-6 for t in steady.values())
+
+
+@given(extra=st.floats(min_value=0.1, max_value=5.0))
+@settings(max_examples=25, deadline=None)
+def test_superposition(extra):
+    """The network is linear: adding power to one block raises its own
+    steady temperature by a fixed resistance times the power."""
+    model = make_model()
+    base = model.steady_state(uniform_powers(model, 1.0))
+    powers = uniform_powers(model, 1.0)
+    powers["Dcache"] += extra
+    bumped = model.steady_state(powers)
+    rise_per_watt = (bumped["Dcache"] - base["Dcache"]) / extra
+    powers["Dcache"] += extra  # double the bump
+    doubled = model.steady_state(powers)
+    assert (doubled["Dcache"] - base["Dcache"]) / (2 * extra) == \
+        pytest.approx(rise_per_watt, rel=1e-6)

@@ -1,0 +1,51 @@
+"""Tests for the sensor bank."""
+
+import pytest
+
+from repro.thermal.floorplan import FloorplanVariant, ev6_floorplan
+from repro.thermal.rc_model import ThermalModel
+from repro.thermal.sensors import SensorBank
+
+
+def make_model():
+    return ThermalModel(ev6_floorplan(FloorplanVariant.BASE),
+                        ambient_k=315.0)
+
+
+class TestSensorBank:
+    def test_read_matches_model(self):
+        model = make_model()
+        model.set_temperatures({"Icache": 350.0})
+        sensors = SensorBank(model)
+        assert sensors.read("Icache") == pytest.approx(350.0)
+
+    def test_offset_applied(self):
+        model = make_model()
+        model.set_temperatures({"Icache": 350.0})
+        sensors = SensorBank(model, offsets={"Icache": 2.0})
+        assert sensors.read("Icache") == pytest.approx(352.0)
+
+    def test_quantization(self):
+        model = make_model()
+        model.set_temperatures({"Icache": 350.3})
+        sensors = SensorBank(model, quantization_k=1.0)
+        assert sensors.read("Icache") == pytest.approx(350.0)
+
+    def test_negative_quantization_rejected(self):
+        with pytest.raises(ValueError):
+            SensorBank(make_model(), quantization_k=-1.0)
+
+    def test_statistics(self):
+        model = make_model()
+        sensors = SensorBank(model)
+        model.set_temperatures({"Icache": 350.0})
+        sensors.read("Icache")
+        model.set_temperatures({"Icache": 354.0})
+        sensors.read("Icache")
+        assert sensors.mean("Icache") == pytest.approx(352.0)
+        assert sensors.maximum("Icache") == pytest.approx(354.0)
+
+    def test_read_all(self):
+        sensors = SensorBank(make_model())
+        temps = sensors.read_all()
+        assert set(temps) == set(sensors.model.floorplan.names)

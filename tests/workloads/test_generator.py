@@ -1,0 +1,140 @@
+"""Tests for the synthetic workload generator."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.isa import OpClass
+from repro.workloads.generator import SyntheticWorkload, WorkloadProfile
+
+
+def simple_profile(**overrides):
+    params = dict(
+        name="test",
+        mix={OpClass.INT_ALU: 0.5, OpClass.LOAD: 0.25,
+             OpClass.STORE: 0.1, OpClass.BRANCH: 0.15},
+        dep_mean=4.0, l1_miss=0.05, l2_frac=0.2, mispredict_rate=0.05,
+    )
+    params.update(overrides)
+    return WorkloadProfile(**params)
+
+
+class TestProfileValidation:
+    def test_mix_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sums to"):
+            simple_profile(mix={OpClass.INT_ALU: 0.5})
+
+    def test_dep_mean_floor(self):
+        with pytest.raises(ValueError):
+            simple_profile(dep_mean=0.5)
+
+    def test_probabilities_bounded(self):
+        with pytest.raises(ValueError):
+            simple_profile(l1_miss=1.5)
+        with pytest.raises(ValueError):
+            simple_profile(mispredict_rate=-0.1)
+        with pytest.raises(ValueError):
+            simple_profile(independent_frac=2.0)
+
+    def test_burst_fields_paired(self):
+        with pytest.raises(ValueError):
+            simple_profile(burst_len=100)  # calm_len missing
+
+    def test_bursty_flag(self):
+        profile = simple_profile(burst_len=100, calm_len=100,
+                                 burst_dep_mean=8.0)
+        assert profile.bursty
+        assert not simple_profile().bursty
+
+    def test_fp_fraction(self):
+        profile = simple_profile(
+            mix={OpClass.INT_ALU: 0.5, OpClass.FP_ADD: 0.3,
+                 OpClass.FP_MUL: 0.2})
+        assert profile.fp_fraction == pytest.approx(0.5)
+
+
+class TestGeneration:
+    def test_reproducible_for_same_seed(self):
+        a = SyntheticWorkload(simple_profile(), seed=7)
+        b = SyntheticWorkload(simple_profile(), seed=7)
+        ops_a = [(o.opclass, o.dst, o.src1, o.mem_addr)
+                 for o in itertools.islice(a, 200)]
+        ops_b = [(o.opclass, o.dst, o.src1, o.mem_addr)
+                 for o in itertools.islice(b, 200)]
+        assert ops_a == ops_b
+
+    def test_different_seeds_differ(self):
+        a = SyntheticWorkload(simple_profile(), seed=1)
+        b = SyntheticWorkload(simple_profile(), seed=2)
+        ops_a = [(o.opclass, o.mem_addr) for o in itertools.islice(a, 200)]
+        ops_b = [(o.opclass, o.mem_addr) for o in itertools.islice(b, 200)]
+        assert ops_a != ops_b
+
+    def test_mix_frequencies_approximate_profile(self):
+        workload = SyntheticWorkload(simple_profile(), seed=3)
+        counts = {c: 0 for c in OpClass}
+        n = 5000
+        for op in itertools.islice(workload, n):
+            counts[op.opclass] += 1
+        assert counts[OpClass.INT_ALU] / n == pytest.approx(0.5, abs=0.05)
+        assert counts[OpClass.LOAD] / n == pytest.approx(0.25, abs=0.05)
+        assert counts[OpClass.FP_ADD] == 0
+
+    def test_sequence_numbers_increase(self):
+        workload = SyntheticWorkload(simple_profile())
+        seqs = [op.seq for op in itertools.islice(workload, 50)]
+        assert seqs == list(range(50))
+
+    def test_loads_have_addresses(self):
+        workload = SyntheticWorkload(simple_profile())
+        for op in itertools.islice(workload, 500):
+            if op.opclass in (OpClass.LOAD, OpClass.STORE):
+                assert op.mem_addr is not None
+                assert op.mem_addr % 64 == 0
+
+    def test_mispredict_rate_approximated(self):
+        workload = SyntheticWorkload(
+            simple_profile(mispredict_rate=0.3), seed=5)
+        branches = [op for op in itertools.islice(workload, 8000)
+                    if op.opclass is OpClass.BRANCH]
+        rate = sum(op.mispredicted for op in branches) / len(branches)
+        assert rate == pytest.approx(0.3, abs=0.06)
+
+    def test_take_yields_exact_count(self):
+        workload = SyntheticWorkload(simple_profile())
+        assert len(list(workload.take(123))) == 123
+
+    def test_burst_phases_alternate(self):
+        profile = simple_profile(burst_len=50, calm_len=50,
+                                 burst_dep_mean=10.0)
+        workload = SyntheticWorkload(profile)
+        states = []
+        for _ in range(400):
+            workload.generate()
+            states.append(workload.in_burst)
+        assert any(states) and not all(states)
+
+    def test_warm_footprint_covers_pools(self):
+        workload = SyntheticWorkload(simple_profile())
+        l1, l2 = workload.warm_footprint()
+        assert len(list(l1)) > 0
+        assert len(list(l2)) > 0
+
+    def test_independent_ops_have_no_sources(self):
+        profile = simple_profile(independent_frac=1.0)
+        workload = SyntheticWorkload(profile)
+        for op in itertools.islice(workload, 200):
+            if op.opclass is OpClass.INT_ALU:
+                assert op.sources() == ()
+
+
+@given(dep=st.floats(min_value=1.0, max_value=20.0),
+       seed=st.integers(min_value=0, max_value=1000))
+@settings(max_examples=30, deadline=None)
+def test_generator_never_crashes(dep, seed):
+    profile = simple_profile(dep_mean=dep)
+    workload = SyntheticWorkload(profile, seed=seed)
+    ops = list(workload.take(100))
+    assert len(ops) == 100

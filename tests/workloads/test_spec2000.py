@@ -1,0 +1,81 @@
+"""Tests for the SPEC2000 profile suite."""
+
+import itertools
+
+import pytest
+
+from repro.pipeline.processor import Processor
+from repro.workloads.spec2000 import (BENCHMARK_NAMES, PROFILES,
+                                      all_profiles, profile, workload)
+
+
+class TestSuite:
+    def test_twenty_two_benchmarks(self):
+        """The paper runs 22 of the 26 SPEC2000 benchmarks."""
+        assert len(BENCHMARK_NAMES) == 22
+        assert set(BENCHMARK_NAMES) == set(PROFILES)
+
+    def test_paper_anchor_benchmarks_present(self):
+        for name in ("art", "facerec", "mesa", "eon", "parser",
+                     "perlbmk", "wupwise", "apsi", "gcc"):
+            assert name in PROFILES
+
+    def test_all_profiles_valid(self):
+        # Construction validates; just touch every profile.
+        for prof in all_profiles():
+            assert sum(prof.mix.values()) == pytest.approx(1.0)
+
+    def test_every_profile_is_phased(self):
+        """Profiles alternate calm/burst phases (real programs do)."""
+        for prof in all_profiles():
+            assert prof.bursty
+
+    def test_lookup_by_name(self):
+        assert profile("mesa").name == "mesa"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            profile("doom3")
+
+    def test_workload_factory(self):
+        w = workload("gzip", seed=3)
+        ops = list(itertools.islice(w, 10))
+        assert len(ops) == 10
+
+
+class TestRegimes:
+    """The paper's qualitative anchors (DESIGN.md 2)."""
+
+    def test_art_and_mcf_are_memory_bound(self):
+        for name in ("art", "mcf"):
+            prof = profile(name)
+            assert prof.l1_miss >= 0.25
+            assert prof.l2_frac >= 0.5
+
+    def test_facerec_has_strong_bursts(self):
+        prof = profile("facerec")
+        assert prof.burst_dep_mean >= 3 * prof.dep_mean
+
+    def test_perlbmk_has_high_ilp(self):
+        assert profile("perlbmk").dep_mean > 2 * profile("parser").dep_mean
+
+    def test_parser_low_ipc_perlbmk_high_ipc(self):
+        ipcs = {}
+        for name in ("parser", "perlbmk"):
+            w = workload(name)
+            p = Processor(w)
+            l1, l2 = w.warm_footprint()
+            p.memory.warm(l1, l2)
+            p.run(4000)
+            ipcs[name] = p.stats.ipc
+        assert ipcs["perlbmk"] > 2 * ipcs["parser"]
+
+    def test_int_benchmarks_have_no_fp(self):
+        for name in ("bzip", "crafty", "gcc", "gzip", "mcf", "parser",
+                     "perlbmk", "twolf", "vortex", "vpr", "eon"):
+            assert profile(name).fp_fraction == 0.0
+
+    def test_fp_benchmarks_have_fp(self):
+        for name in ("applu", "apsi", "art", "facerec", "fma3d", "lucas",
+                     "mesa", "mgrid", "sixtrack", "swim", "wupwise"):
+            assert profile(name).fp_fraction > 0.15

@@ -1,0 +1,50 @@
+"""Simulator-aware correctness tooling (repro-lint + runtime sanitizer).
+
+The paper's conclusions rest on deltas that are tiny by construction —
+a 0.5 K issue-queue toggle threshold, IPC gaps of a few percent between
+fine-grain turnoff and a global stall.  A silent determinism bug (an
+unseeded RNG, iteration over a set) or a unit bug (adding kelvin to
+watts) does not crash the simulator; it quietly produces a different,
+equally plausible-looking table.  This package holds the tooling that
+keeps those bug classes out of the tree as it grows:
+
+* :mod:`repro.analysis.lint` — **repro-lint**, an AST static-analysis
+  pass with simulator-specific rules (``python -m repro.analysis.lint
+  src/`` or ``repro lint``).  See :data:`repro.analysis.rules.RULES`
+  for the rule catalogue (REP001–REP005).
+* :mod:`repro.analysis.sanitize` — a **runtime sanitizer** of cheap
+  cross-substrate invariants (energy conservation, temperature bounds,
+  queue occupancy, register-file mapping coherence, no issue to
+  turned-off units), enabled with ``REPRO_SANITIZE=1`` or
+  ``SimulationConfig(sanitize=True)``.
+"""
+
+from importlib import import_module
+from typing import Any
+
+#: Public name -> providing submodule.  Resolved lazily (PEP 562) so
+#: ``python -m repro.analysis.lint`` does not import the submodule a
+#: second time under a different name (runpy's double-import warning).
+_EXPORTS = {
+    "Finding": "lint",
+    "LintReport": "lint",
+    "lint_paths": "lint",
+    "lint_source": "lint",
+    "RULES": "rules",
+    "Rule": "rules",
+    "Sanitizer": "sanitize",
+    "SanitizerError": "sanitize",
+    "SanitizerStats": "sanitize",
+    "sanitize_enabled": "sanitize",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    return getattr(import_module(f".{module}", __name__), name)

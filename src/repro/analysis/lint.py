@@ -1,0 +1,219 @@
+"""repro-lint driver: walk files, run rules, report findings.
+
+Usage::
+
+    python -m repro.analysis.lint src/            # or: repro lint src/
+    python -m repro.analysis.lint --list-rules
+    python -m repro.analysis.lint --select REP001,REP003 src/ tests/
+
+Exit status is non-zero when findings remain after suppressions, so
+the command is usable as a CI gate.  Suppress a single line with
+``# repro: noqa[REP003]`` (comma-separated IDs) or ``# repro: noqa``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .rules import (RULES, FileContext, Finding, Rule,
+                    collect_frozen_classes)
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<ids>[A-Z0-9,\s]+)\])?", re.IGNORECASE)
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis",
+                        ".pytest_cache", ".benchmarks", "build", "dist"})
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: Tuple[Finding, ...]
+    files_checked: int
+    suppressed: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def format(self) -> str:
+        lines = [f.format() for f in self.findings]
+        summary = (f"{len(self.findings)} finding(s) in "
+                   f"{self.files_checked} file(s)"
+                   + (f", {self.suppressed} suppressed"
+                      if self.suppressed else ""))
+        return "\n".join([*lines, summary])
+
+
+def _noqa_ids(line: str) -> Optional[Set[str]]:
+    """IDs suppressed on ``line``: a set of rule IDs, the empty set for
+    a bare ``# repro: noqa`` (suppress everything), or None."""
+    match = _NOQA_RE.search(line)
+    if match is None:
+        return None
+    ids = match.group("ids")
+    if ids is None:
+        return set()
+    return {part.strip().upper() for part in ids.split(",") if part.strip()}
+
+
+def _apply_suppressions(findings: Iterable[Finding],
+                        lines: Sequence[str]) -> Tuple[List[Finding], int]:
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        line = lines[finding.line - 1] if finding.line <= len(lines) else ""
+        ids = _noqa_ids(line)
+        if ids is not None and (not ids or finding.rule_id in ids):
+            suppressed += 1
+            continue
+        kept.append(finding)
+    return kept, suppressed
+
+
+def _select_rules(select: Optional[Sequence[str]]) -> Tuple[Rule, ...]:
+    if not select:
+        return RULES
+    wanted = {s.strip().upper() for s in select if s.strip()}
+    unknown = wanted - {rule.rule_id for rule in RULES}
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    return tuple(rule for rule in RULES if rule.rule_id in wanted)
+
+
+def _check_context(ctx: FileContext,
+                   rules: Sequence[Rule]) -> Tuple[List[Finding], int]:
+    findings: List[Finding] = []
+    for rule in rules:
+        findings.extend(rule.check(ctx))
+    findings.sort(key=lambda f: (f.line, f.col, f.rule_id))
+    return _apply_suppressions(findings, ctx.source.splitlines())
+
+
+def lint_source(source: str, path: str = "<string>",
+                select: Optional[Sequence[str]] = None,
+                extra_frozen: Sequence[str] = ()) -> LintReport:
+    """Lint one source string (the test-fixture entry point)."""
+    tree = ast.parse(source, filename=path)
+    frozen = collect_frozen_classes([tree]) | set(extra_frozen)
+    ctx = FileContext(path=path, source=source, tree=tree,
+                      frozen_classes=frozen)
+    kept, suppressed = _check_context(ctx, _select_rules(select))
+    return LintReport(findings=tuple(kept), files_checked=1,
+                      suppressed=suppressed)
+
+
+def _iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    for path in paths:
+        if not os.path.exists(path):
+            # A typo'd path must not pass the CI gate vacuously.
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d not in _SKIP_DIRS and not d.endswith(".egg-info"))
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def lint_paths(paths: Sequence[str],
+               select: Optional[Sequence[str]] = None) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` (files or directories).
+
+    Runs in two passes so project-wide facts (the set of frozen
+    dataclass names REP005 tracks) see every file before any rule
+    fires.
+    """
+    rules = _select_rules(select)
+    parsed: List[Tuple[str, str, ast.Module]] = []
+    for filename in _iter_python_files(paths):
+        with open(filename, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        parsed.append((filename, source,
+                       ast.parse(source, filename=filename)))
+
+    frozen = collect_frozen_classes([tree for _, _, tree in parsed])
+    all_findings: List[Finding] = []
+    suppressed_total = 0
+    for filename, source, tree in parsed:
+        ctx = FileContext(path=filename, source=source, tree=tree,
+                          frozen_classes=frozen)
+        kept, suppressed = _check_context(ctx, rules)
+        all_findings.extend(kept)
+        suppressed_total += suppressed
+    return LintReport(findings=tuple(all_findings),
+                      files_checked=len(parsed),
+                      suppressed=suppressed_total)
+
+
+def _format_rule_list() -> str:
+    lines = []
+    for rule in RULES:
+        doc = (rule.__class__.__doc__ or "").strip().splitlines()
+        lines.append(f"{rule.rule_id}  {rule.title}")
+        for doc_line in doc:
+            lines.append(f"    {doc_line.strip()}")
+        lines.append(f"    fix: {rule.autofix_hint}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Simulator-aware static analysis (repro-lint)")
+    parser.add_argument("paths", nargs="*", default=[],
+                        help="files or directories (default: src/)")
+    parser.add_argument("--select", default="",
+                        help="comma-separated rule IDs to run "
+                             "(default: all)")
+    parser.add_argument("--format", dest="output_format", default="text",
+                        choices=("text", "json"))
+    parser.add_argument("--list-rules", action="store_true",
+                        help="describe every rule and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_format_rule_list())
+        return 0
+    paths = args.paths or ["src"]
+    select = [s for s in args.select.split(",") if s.strip()] or None
+    try:
+        report = lint_paths(paths, select=select)
+    except (ValueError, OSError, SyntaxError) as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    if args.output_format == "json":
+        payload: Dict[str, object] = {
+            "files_checked": report.files_checked,
+            "suppressed": report.suppressed,
+            "findings": [
+                {"path": f.path, "line": f.line, "col": f.col,
+                 "rule": f.rule_id, "message": f.message, "hint": f.hint}
+                for f in report.findings],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,684 @@
+"""repro-lint rule catalogue (REP001–REP005).
+
+Every rule is a subclass of :class:`Rule` with a stable ``rule_id``,
+a one-line ``title``, an ``autofix_hint`` explaining the sanctioned
+fix, and a ``check`` method walking one file's AST.  Rules only ever
+*read* the tree; fixes stay in the hands of the author (the hint names
+them precisely enough to be mechanical).
+
+Suppression: append ``# repro: noqa[REP003]`` (or a comma-separated
+list, or bare ``# repro: noqa`` for all rules) to the offending line.
+The driver in :mod:`repro.analysis.lint` applies suppressions; rules
+report unconditionally.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["Finding", "FileContext", "Rule", "RULES", "collect_frozen_classes"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    hint: str = ""
+
+    def format(self, show_hint: bool = True) -> str:
+        text = f"{self.path}:{self.line}:{self.col + 1}: " \
+               f"{self.rule_id} {self.message}"
+        if show_hint and self.hint:
+            text += f"  [fix: {self.hint}]"
+        return text
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one file."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    #: Names of ``@dataclass(frozen=True)`` classes across the whole
+    #: lint run (two-pass: collected before any rule executes).
+    frozen_classes: Set[str] = field(default_factory=set)
+
+    @property
+    def posix_path(self) -> str:
+        return self.path.replace("\\", "/")
+
+
+class Rule:
+    """Base class: one static-analysis check with a stable identity."""
+
+    rule_id: str = ""
+    title: str = ""
+    autofix_hint: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST,
+                message: str, hint: Optional[str] = None) -> Finding:
+        return Finding(path=ctx.path, line=node.lineno,
+                       col=node.col_offset, rule_id=self.rule_id,
+                       message=message,
+                       hint=self.autofix_hint if hint is None else hint)
+
+
+def _parents(tree: ast.Module) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def collect_frozen_classes(trees: Sequence[ast.Module]) -> Set[str]:
+    """Names of ``@dataclass(frozen=True)`` classes in the given trees."""
+    frozen: Set[str] = set()
+    for tree in trees:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and _is_frozen_dataclass(node):
+                frozen.add(node.name)
+    return frozen
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for deco in node.decorator_list:
+        if not isinstance(deco, ast.Call):
+            continue
+        func = deco.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else "")
+        if name != "dataclass":
+            continue
+        for kw in deco.keywords:
+            if (kw.arg == "frozen" and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True):
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# REP001 — unseeded randomness
+# ---------------------------------------------------------------------------
+
+#: Module-level ``random.*`` functions that draw from (or reseed) the
+#: process-global RNG.  Any use makes a run depend on import order and
+#: on every other caller of the global stream.
+_GLOBAL_RNG_FUNCS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "expovariate",
+    "betavariate", "gammavariate", "lognormvariate", "paretovariate",
+    "triangular", "vonmisesvariate", "weibullvariate", "getrandbits",
+    "randbytes", "seed",
+})
+
+#: Files allowed to construct RNGs at all (the one sanctioned entropy
+#: source of the simulator).
+_RNG_ALLOWED_SUFFIXES = ("workloads/generator.py",)
+
+
+class UnseededRandomRule(Rule):
+    """REP001: all randomness must flow from an explicitly seeded
+    ``random.Random(seed)`` owned by the workload generator.
+
+    The simulator's acceptance bar is bit-identical reruns: the paper's
+    0.5 K toggle deltas and sub-percent IPC gaps drown in run-to-run
+    noise otherwise.  Module-level ``random.*`` calls use the shared
+    process RNG (seeded from the OS), and a bare ``random.Random()``
+    seeds itself from entropy; both make results unreproducible.
+    """
+
+    rule_id = "REP001"
+    title = "unseeded or global RNG"
+    autofix_hint = ("construct random.Random(seed) from an explicit "
+                    "seed and thread it through, or generate the "
+                    "stream in workloads/generator.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.posix_path.endswith(_RNG_ALLOWED_SUFFIXES):
+            return
+        random_aliases = {"random"}
+        imported_rng: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        random_aliases.add(alias.asname or "random")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    for alias in node.names:
+                        imported_rng.add(alias.asname or alias.name)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in random_aliases):
+                if func.attr in _GLOBAL_RNG_FUNCS:
+                    yield self.finding(
+                        ctx, node,
+                        f"module-level random.{func.attr}() draws from "
+                        f"the process-global RNG (unreproducible)")
+                elif func.attr == "Random" and not node.args:
+                    yield self.finding(
+                        ctx, node,
+                        "random.Random() without a seed is entropy-"
+                        "seeded (unreproducible)")
+            elif isinstance(func, ast.Name) and func.id in imported_rng:
+                if func.id == "Random" and not node.args:
+                    yield self.finding(
+                        ctx, node,
+                        "Random() without a seed is entropy-seeded "
+                        "(unreproducible)")
+                elif func.id in _GLOBAL_RNG_FUNCS:
+                    yield self.finding(
+                        ctx, node,
+                        f"module-level {func.id}() (from random import) "
+                        f"draws from the process-global RNG")
+
+
+# ---------------------------------------------------------------------------
+# REP002 — iteration order over sets
+# ---------------------------------------------------------------------------
+
+_SET_ANNOTATIONS = {"set", "Set", "MutableSet", "AbstractSet", "frozenset",
+                    "FrozenSet"}
+
+
+def _is_set_producing(node: ast.AST) -> bool:
+    """Whether an expression evaluates to a set (syntactically)."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        # set algebra: s | t, s & t, s - t, s ^ t
+        return (_is_set_producing(node.left)
+                or _is_set_producing(node.right))
+    return False
+
+
+def _annotation_is_set(annotation: Optional[ast.AST]) -> bool:
+    if annotation is None:
+        return False
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SET_ANNOTATIONS
+    return isinstance(node, ast.Name) and node.id in _SET_ANNOTATIONS
+
+
+class SetIterationRule(Rule):
+    """REP002: never iterate a set (or ``dict.keys()``) where order can
+    reach simulator state.
+
+    Scheduling and select paths turn iteration order into architectural
+    behaviour: issuing uops, unblocking ALUs, or applying DTM actions
+    in hash order makes two identical runs diverge the moment a hash
+    seed or insertion history differs.  ``dict.keys()`` is flagged too:
+    it advertises "unordered collection" intent even though CPython
+    preserves insertion order, and the idiomatic deterministic spelling
+    (iterate the dict, or ``sorted(d)``) is free.
+    """
+
+    rule_id = "REP002"
+    title = "iteration over unordered set"
+    autofix_hint = ("iterate sorted(<set>) (or keep an explicitly "
+                    "ordered list/dict alongside the set)")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        set_attrs = self._set_attributes_by_class(ctx.tree)
+        parents = _parents(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            iters: List[ast.AST] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                reason = self._nondeterministic_reason(
+                    it, node, parents, set_attrs)
+                if reason:
+                    yield self.finding(ctx, it, reason)
+
+    # -- helpers --------------------------------------------------------
+    def _set_attributes_by_class(
+            self, tree: ast.Module) -> Dict[ast.ClassDef, Set[str]]:
+        """Per class, ``self.X`` attributes bound to set expressions or
+        set annotations anywhere in the class body."""
+        by_class: Dict[ast.ClassDef, Set[str]] = {}
+        for cls in ast.walk(tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            attrs: Set[str] = set()
+            for node in ast.walk(cls):
+                target = None
+                value: Optional[ast.AST] = None
+                if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                    target, value = node.targets[0], node.value
+                elif isinstance(node, ast.AnnAssign):
+                    target, value = node.target, node.value
+                    if _annotation_is_set(node.annotation):
+                        if (isinstance(target, ast.Attribute)
+                                and isinstance(target.value, ast.Name)
+                                and target.value.id == "self"):
+                            attrs.add(target.attr)
+                        continue
+                if (target is not None and value is not None
+                        and isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and _is_set_producing(value)):
+                    attrs.add(target.attr)
+            by_class[cls] = attrs
+        return by_class
+
+    def _nondeterministic_reason(
+            self, it: ast.AST, site: ast.AST,
+            parents: Dict[ast.AST, ast.AST],
+            set_attrs: Dict[ast.ClassDef, Set[str]]) -> Optional[str]:
+        if _is_set_producing(it):
+            return ("iteration over a set has hash-dependent order "
+                    "(nondeterministic scheduling)")
+        if (isinstance(it, ast.Call) and isinstance(it.func, ast.Attribute)
+                and it.func.attr == "keys" and not it.args):
+            return ("iterate the mapping itself (or sorted(...)) "
+                    "instead of .keys()")
+        if isinstance(it, ast.Name):
+            if self._name_bound_to_set(it, site, parents):
+                return (f"'{it.id}' was bound to a set; iterating it "
+                        f"has hash-dependent order")
+        if (isinstance(it, ast.Attribute)
+                and isinstance(it.value, ast.Name)
+                and it.value.id == "self"):
+            cls = self._enclosing(site, parents, ast.ClassDef)
+            if cls is not None and it.attr in set_attrs.get(cls, set()):
+                return (f"'self.{it.attr}' is a set; iterating it has "
+                        f"hash-dependent order")
+        return None
+
+    def _name_bound_to_set(self, name: ast.Name, site: ast.AST,
+                           parents: Dict[ast.AST, ast.AST]) -> bool:
+        """Whether the closest preceding binding of ``name`` in the
+        enclosing function is a set-producing expression (a linear,
+        single-pass approximation of local data flow)."""
+        func = self._enclosing(site, parents,
+                               (ast.FunctionDef, ast.AsyncFunctionDef))
+        scope: ast.AST = func if func is not None else self._module(
+            site, parents)
+        best_line = -1
+        best_is_set = False
+        for node in ast.walk(scope):
+            value: Optional[ast.expr]
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            if node.lineno > name.lineno or node.lineno <= best_line:
+                continue
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id == name.id:
+                    best_line = node.lineno
+                    best_is_set = _is_set_producing(value)
+        return best_is_set
+
+    @staticmethod
+    def _enclosing(node: ast.AST, parents: Dict[ast.AST, ast.AST],
+                   kinds) -> Optional[ast.AST]:
+        cur = parents.get(node)
+        while cur is not None:
+            if isinstance(cur, kinds):
+                return cur
+            cur = parents.get(cur)
+        return None
+
+    @staticmethod
+    def _module(node: ast.AST, parents: Dict[ast.AST, ast.AST]) -> ast.AST:
+        cur = node
+        while parents.get(cur) is not None:
+            cur = parents[cur]
+        return cur
+
+
+# ---------------------------------------------------------------------------
+# REP003 — physical-unit suffix discipline
+# ---------------------------------------------------------------------------
+
+#: Trailing name tokens recognised as unit markers.  A name "carries a
+#: unit" when its final underscore-token is one of these (``per`` may
+#: appear inside a compound like ``_k_per_w`` but cannot terminate it).
+_UNIT_TOKENS = frozenset({
+    "k", "w", "j", "s", "m", "m2", "m3", "hz", "v", "nj", "cycles", "per",
+})
+_TERMINAL_UNIT_TOKENS = _UNIT_TOKENS - {"per"}
+
+#: Name fragments that mark a scalar as a physical quantity.
+_QUANTITY_KEYWORDS = (
+    "temp", "power", "watt", "energy", "joule", "kelvin", "second",
+    "interval", "time", "resist", "capacit", "conduct", "thickness",
+    "distance", "area", "voltage", "frequency",
+)
+
+#: Directories (relative to the package root) where the missing-suffix
+#: check applies — the modules whose numbers feed the paper's tables.
+_UNIT_SCOPED_DIRS = ("thermal/", "power/", "sim/")
+
+
+def unit_of(name: str) -> Optional[str]:
+    """The trailing unit chain of ``name`` (``'k'``, ``'k_per_w'``,
+    ...), or None when the name carries no unit suffix."""
+    tokens = name.lower().split("_")
+    chain: List[str] = []
+    while tokens and tokens[-1] in _UNIT_TOKENS:
+        chain.insert(0, tokens.pop())
+    if not chain or chain[-1] not in _TERMINAL_UNIT_TOKENS:
+        return None
+    return "_".join(chain)
+
+
+def _looks_physical(name: str) -> bool:
+    lowered = name.lower()
+    return any(key in lowered for key in _QUANTITY_KEYWORDS)
+
+
+def _is_scalar_annotation(annotation: Optional[ast.AST]) -> bool:
+    return (isinstance(annotation, ast.Name)
+            and annotation.id in ("float", "int"))
+
+
+class UnitSuffixRule(Rule):
+    """REP003: scalars carrying physical quantities must say their unit
+    in their name, and unit-suffixed names must not mix in +/-.
+
+    The thermal and power models pass bare floats around (kelvin,
+    watts, joules, seconds, metres); nothing but naming stops a caller
+    handing seconds where the model expects kelvin.  Two checks:
+
+    * in ``thermal/``, ``power/`` and ``sim/``, a ``float``/``int``
+      parameter or dataclass field whose name contains a physical-
+      quantity keyword must end in a unit token (``_k``, ``_w``,
+      ``_j``, ``_s``, ``_m``, ``_m2``, ``_hz``, ``_cycles``, or a
+      compound like ``_k_per_w``);
+    * anywhere, adding or subtracting two unit-suffixed operands with
+      *different* units is reported — convert through an explicit
+      helper (or a named intermediate) first.
+    """
+
+    rule_id = "REP003"
+    title = "unit-suffix discipline"
+    autofix_hint = ("rename the quantity with its unit suffix "
+                    "(_k/_w/_j/_s/_m/_m2/_hz/_cycles, compounds like "
+                    "_k_per_w), converting explicitly where units meet")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if any(d in ctx.posix_path for d in _UNIT_SCOPED_DIRS):
+            yield from self._check_declarations(ctx)
+        yield from self._check_mixing(ctx)
+
+    def _check_declarations(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = [*node.args.posonlyargs, *node.args.args,
+                        *node.args.kwonlyargs]
+                for arg in args:
+                    if arg.arg in ("self", "cls"):
+                        continue
+                    if not _is_scalar_annotation(arg.annotation):
+                        continue
+                    if _looks_physical(arg.arg) and unit_of(arg.arg) is None:
+                        yield self.finding(
+                            ctx, arg,
+                            f"parameter '{arg.arg}' looks like a "
+                            f"physical quantity but has no unit suffix")
+            elif isinstance(node, ast.ClassDef):
+                for stmt in node.body:
+                    if (isinstance(stmt, ast.AnnAssign)
+                            and isinstance(stmt.target, ast.Name)
+                            and _is_scalar_annotation(stmt.annotation)):
+                        name = stmt.target.id
+                        if _looks_physical(name) and unit_of(name) is None:
+                            yield self.finding(
+                                ctx, stmt,
+                                f"field '{name}' looks like a physical "
+                                f"quantity but has no unit suffix")
+
+    def _check_mixing(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.BinOp):
+                continue
+            if not isinstance(node.op, (ast.Add, ast.Sub)):
+                continue
+            left = self._operand_unit(node.left)
+            right = self._operand_unit(node.right)
+            if left and right and left[1] != right[1]:
+                op = "+" if isinstance(node.op, ast.Add) else "-"
+                yield self.finding(
+                    ctx, node,
+                    f"'{left[0]} {op} {right[0]}' mixes units "
+                    f"[{left[1]}] and [{right[1]}] without an explicit "
+                    f"conversion")
+
+    @staticmethod
+    def _operand_unit(node: ast.AST) -> Optional[Tuple[str, str]]:
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        else:
+            return None
+        unit = unit_of(name)
+        return (name, unit) if unit else None
+
+
+# ---------------------------------------------------------------------------
+# REP004 — mutable default arguments
+# ---------------------------------------------------------------------------
+
+_MUTABLE_FACTORIES = frozenset({
+    "list", "dict", "set", "bytearray", "deque", "defaultdict", "Counter",
+    "OrderedDict",
+})
+
+
+class MutableDefaultRule(Rule):
+    """REP004: no mutable default argument values.
+
+    A mutable default is evaluated once at import and shared by every
+    call — in a simulator that means state (queue contents, activity
+    counters, per-run caches) silently leaking between runs of what
+    should be independent configurations.
+    """
+
+    rule_id = "REP004"
+    title = "mutable default argument"
+    autofix_hint = ("default to None and create the container inside "
+                    "the function (or use dataclasses.field("
+                    "default_factory=...))")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = [*node.args.defaults, *node.args.kw_defaults]
+            for default in defaults:
+                if default is None:
+                    continue
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx, default,
+                        f"mutable default argument in {node.name}() is "
+                        f"shared across calls")
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else "")
+            return name in _MUTABLE_FACTORIES
+        return False
+
+
+# ---------------------------------------------------------------------------
+# REP005 — frozen-config mutation
+# ---------------------------------------------------------------------------
+
+
+class FrozenMutationRule(Rule):
+    """REP005: frozen-dataclass configs are immutable run descriptors —
+    derive variants with ``dataclasses.replace()``, never mutate.
+
+    A config object is shared by reference between the simulator, the
+    DTM controller and the result record; writing through it (or
+    bypassing ``frozen=True`` with ``object.__setattr__``) changes a
+    run's description after parts of the system already read it.
+    """
+
+    rule_id = "REP005"
+    title = "frozen-dataclass mutation"
+    autofix_hint = ("build a new instance with dataclasses.replace("
+                    "cfg, field=value) instead of assigning")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        parents = _parents(ctx.tree)
+        frozen_vars = self._frozen_bindings(ctx)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    name = self._frozen_base(target, frozen_vars)
+                    if name:
+                        yield self.finding(
+                            ctx, node,
+                            f"assignment to field of frozen config "
+                            f"'{name}'")
+            elif isinstance(node, ast.Call):
+                if self._is_object_setattr(node) and not \
+                        self._inside_post_init(node, parents):
+                    yield self.finding(
+                        ctx, node,
+                        "object.__setattr__ outside __post_init__ "
+                        "bypasses dataclass immutability")
+
+    # -- helpers --------------------------------------------------------
+    def _frozen_bindings(self, ctx: FileContext) -> Dict[str, str]:
+        """Map of variable / ``self.attr`` names to the frozen class
+        they are bound to (annotation- and constructor-derived)."""
+        bindings: Dict[str, str] = {}
+
+        def class_of(value: Optional[ast.AST]) -> Optional[str]:
+            if value is None:
+                return None
+            if isinstance(value, ast.Call):
+                func = value.func
+                name = func.id if isinstance(func, ast.Name) else (
+                    func.attr if isinstance(func, ast.Attribute) else "")
+                if name in ctx.frozen_classes:
+                    return name
+            if isinstance(value, ast.BoolOp):
+                for operand in value.values:
+                    found = class_of(operand)
+                    if found:
+                        return found
+            return None
+
+        def annotation_class(annotation: Optional[ast.AST]) -> Optional[str]:
+            if isinstance(annotation, ast.Name) and \
+                    annotation.id in ctx.frozen_classes:
+                return annotation.id
+            if isinstance(annotation, ast.Constant) and \
+                    isinstance(annotation.value, str) and \
+                    annotation.value in ctx.frozen_classes:
+                return annotation.value
+            return None
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for arg in [*node.args.posonlyargs, *node.args.args,
+                            *node.args.kwonlyargs]:
+                    cls = annotation_class(arg.annotation)
+                    if cls:
+                        bindings[arg.arg] = cls
+            elif isinstance(node, ast.AnnAssign):
+                cls = (annotation_class(node.annotation)
+                       or class_of(node.value))
+                if cls:
+                    bindings[self._target_key(node.target)] = cls
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                cls = class_of(node.value)
+                if cls:
+                    bindings[self._target_key(node.targets[0])] = cls
+        bindings.pop("", None)
+        return bindings
+
+    @staticmethod
+    def _target_key(target: ast.AST) -> str:
+        if isinstance(target, ast.Name):
+            return target.id
+        if (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            return f"self.{target.attr}"
+        return ""
+
+    def _frozen_base(self, target: ast.AST,
+                     frozen_vars: Dict[str, str]) -> Optional[str]:
+        """If ``target`` is ``<frozen-bound expr>.field``, the bound
+        name; else None."""
+        if not isinstance(target, ast.Attribute):
+            return None
+        base = target.value
+        key = self._target_key(base)
+        if key and key in frozen_vars:
+            return key
+        return None
+
+    @staticmethod
+    def _is_object_setattr(node: ast.Call) -> bool:
+        func = node.func
+        return (isinstance(func, ast.Attribute)
+                and func.attr == "__setattr__"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "object")
+
+    @staticmethod
+    def _inside_post_init(node: ast.AST,
+                          parents: Dict[ast.AST, ast.AST]) -> bool:
+        cur = parents.get(node)
+        while cur is not None:
+            if isinstance(cur, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return cur.name == "__post_init__"
+            cur = parents.get(cur)
+        return False
+
+
+#: The rule registry, in ID order.  ``repro lint --list-rules`` renders
+#: this table.
+RULES: Tuple[Rule, ...] = (
+    UnseededRandomRule(),
+    SetIterationRule(),
+    UnitSuffixRule(),
+    MutableDefaultRule(),
+    FrozenMutationRule(),
+)

@@ -5,6 +5,7 @@ Examples::
     python -m repro run perlbmk --variant alu --alus fine_grain
     python -m repro figure 7 --benchmarks perlbmk,parser --cycles 80000
     python -m repro list
+    python -m repro lint src/ tests/
 """
 
 from __future__ import annotations
@@ -13,6 +14,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .analysis import lint as analysis_lint
 from .core.mapping import MappingKind
 from .core.policies import (ALUPolicy, IssueQueuePolicy, RegFilePolicy,
                             TechniqueConfig)
@@ -54,7 +56,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         variant=FloorplanVariant(args.variant),
         techniques=techniques,
         max_cycles=args.cycles,
-        seed=args.seed)
+        seed=args.seed,
+        sanitize=args.sanitize)
     result = run_simulation(config)
     print(f"benchmark:      {result.benchmark}")
     print(f"techniques:     {config.label()}")
@@ -70,6 +73,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for name, mean in hottest:
         print(f"  {name:10s} {mean:7.2f} / {result.max_temps[name]:7.2f}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    return analysis_lint.main(args.lint_args)
 
 
 _EXPERIMENTS = {
@@ -113,6 +120,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--rf-turnoff", action="store_true")
     run_p.add_argument("--cycles", type=int, default=100_000)
     run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--sanitize", action="store_true",
+                       help="install runtime invariant checks "
+                            "(see repro.analysis.sanitize)")
     run_p.set_defaults(func=_cmd_run)
 
     fig_p = sub.add_parser("figure",
@@ -124,10 +134,23 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p.add_argument("--seed", type=int, default=1)
     fig_p.set_defaults(func=_cmd_figure)
 
+    lint_p = sub.add_parser(
+        "lint", help="run repro-lint static analysis (REP001-REP005)",
+        add_help=False)
+    lint_p.add_argument("lint_args", nargs=argparse.REMAINDER,
+                        help="arguments for repro.analysis.lint "
+                             "(paths, --select, --format, --list-rules)")
+    lint_p.set_defaults(func=_cmd_lint)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        # Hand everything after "lint" to the linter's own parser so
+        # its options need no mirroring here.
+        return analysis_lint.main(argv[1:])
     args = build_parser().parse_args(argv)
     return args.func(args)
 

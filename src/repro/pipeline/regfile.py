@@ -164,6 +164,6 @@ class RegisterFileBank:
     def blocked_alus(self) -> Set[int]:
         """ALUs unusable because one of their port copies is off."""
         blocked: Set[int] = set()
-        for copy in self._off:
+        for copy in sorted(self._off):
             blocked.update(self.mapping.alus_on_copy(copy))
         return blocked

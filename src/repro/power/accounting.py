@@ -62,6 +62,14 @@ class PowerAccountant:
         self.floorplan = floorplan
         self.energy = energy_model or EnergyModel()
         self._last: Optional[ActivitySnapshot] = None
+        # Two independently-accumulated energy totals: the scalar path
+        # sums every event energy plus leakage as it is computed; the
+        # per-block path integrates the final power vector.  They must
+        # agree (the sanitizer's energy-conservation invariant) — a
+        # power key dropped on the floor or double-counted shows up as
+        # a divergence between the two.
+        self.total_energy_j = 0.0
+        self.block_energy_j: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     def leakage_powers(self) -> Dict[str, float]:
@@ -71,13 +79,19 @@ class PowerAccountant:
                 for name in self.floorplan.names}
 
     def reset(self, snapshot: ActivitySnapshot) -> None:
-        """Set the baseline snapshot (start of the first interval)."""
+        """Set the baseline snapshot (start of the first interval).
+
+        The energy totals restart with the baseline so they cover only
+        the measured region (warm-up energy is not mixed in).
+        """
         self._last = snapshot
+        self.total_energy_j = 0.0
+        self.block_energy_j = {}
 
     def sample(self, snapshot: ActivitySnapshot,
-               interval_seconds: float) -> Dict[str, float]:
+               interval_s: float) -> Dict[str, float]:
         """Per-block average power (W) over the elapsed interval."""
-        if interval_seconds <= 0:
+        if interval_s <= 0:
             raise ValueError("interval must be positive")
         if self._last is None:
             raise RuntimeError("call reset() with a baseline snapshot first")
@@ -120,9 +134,15 @@ class PowerAccountant:
         nj["DTB"] = l1d * e.tlb_lookup
 
         powers = self.leakage_powers()
+        interval_j = sum(powers.values()) * interval_s
+        interval_j += sum(nj.values()) * NANOJOULE
         for name, energy_nj in nj.items():
             if name in powers:
-                powers[name] += energy_nj * NANOJOULE / interval_seconds
+                powers[name] += energy_nj * NANOJOULE / interval_s
+        self.total_energy_j += interval_j
+        for name, watts in powers.items():
+            self.block_energy_j[name] = (
+                self.block_energy_j.get(name, 0.0) + watts * interval_s)
         return powers
 
     def typical_powers(self, utilization: float = 0.5) -> Dict[str, float]:

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -43,7 +43,11 @@ def speedup(result: SimulationResult, baseline: SimulationResult) -> float:
     return result.ipc / baseline.ipc - 1.0
 
 
-def geometric_mean_speedup(pairs: Sequence[tuple]) -> float:
+#: (technique result, baseline result) measured on the same workload.
+ResultPair = Tuple[SimulationResult, SimulationResult]
+
+
+def geometric_mean_speedup(pairs: Sequence[ResultPair]) -> float:
     """Geometric-mean speedup over (result, baseline) pairs."""
     if not pairs:
         raise ValueError("no pairs")
@@ -53,7 +57,7 @@ def geometric_mean_speedup(pairs: Sequence[tuple]) -> float:
     return product ** (1.0 / len(pairs)) - 1.0
 
 
-def mean_speedup(pairs: Sequence[tuple]) -> float:
+def mean_speedup(pairs: Sequence[ResultPair]) -> float:
     """Arithmetic-mean speedup over (result, baseline) pairs (the
     paper reports arithmetic averages)."""
     if not pairs:

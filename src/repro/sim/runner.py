@@ -15,12 +15,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Iterator, Optional
 
+from ..analysis.sanitize import Sanitizer, sanitize_enabled
 from ..core.dtm import ThermalManager
 from ..core.mapping import make_mapping
 from ..core.policies import TechniqueConfig
 from ..pipeline.config import ProcessorConfig, ThermalConfig
 from ..pipeline.isa import MicroOp
-from ..pipeline.processor import Processor
+from ..pipeline.processor import Processor, ProcessorStats
 from ..power.accounting import PowerAccountant
 from ..power.energy import EnergyModel
 from ..thermal.floorplan import Floorplan, FloorplanVariant, ev6_floorplan
@@ -52,6 +53,11 @@ class SimulationConfig:
     warmup_cycles: int = 12_000
     seed: int = 1
     technique_label: str = ""
+    #: Install the runtime sanitizer's invariant hooks (energy
+    #: conservation, temperature bounds, queue/register-file coherence)
+    #: for this run.  ``REPRO_SANITIZE=1`` in the environment enables
+    #: it regardless of this flag.
+    sanitize: bool = False
 
     def label(self) -> str:
         return self.technique_label or (
@@ -91,6 +97,10 @@ class Simulator:
                                   config.thermal, config.techniques)
         self._interval_s = (config.thermal.sensor_interval_cycles
                             * config.thermal.cycle_time_s)
+        self.sanitizer: Optional[Sanitizer] = None
+        if config.sanitize or sanitize_enabled():
+            self.sanitizer = Sanitizer()
+            self.sanitizer.attach(self)
 
     def run(self) -> SimulationResult:
         """Execute the configured run and collect results."""
@@ -113,7 +123,6 @@ class Simulator:
             powers = self.accountant.sample(
                 self.processor.activity_snapshot(), seconds)
             self.thermal.initialize_steady_state(powers)
-        from ..pipeline.processor import ProcessorStats
         self.processor.stats = ProcessorStats()
 
     def _on_sample(self, processor: Processor) -> None:

@@ -22,50 +22,51 @@ class PackageConfig:
     #: Die (silicon) thickness, m (HotSpot default).  A thin die is
     #: what makes vertical conduction dominate lateral conduction, the
     #: physical premise behind intra-resource hotspots (paper 1).
-    die_thickness: float = 0.15e-3
+    die_thickness_m: float = 0.15e-3
     #: Copper spreader+sink base conductivity, W/(m K).
     k_sink: float = 400.0
     #: Copper volumetric heat capacity, J/(m^3 K).
     c_sink: float = 3.55e6
     #: Heatsink thickness, m (paper Table 2: 6.9 mm).
-    sink_thickness: float = 6.9e-3
+    sink_thickness_m: float = 6.9e-3
     #: Heatsink base side length, m (square), typically ~6x die side.
-    sink_side: float = 60e-3
+    sink_side_m: float = 60e-3
     #: Convection resistance sink->ambient, K/W (paper Table 2).
-    convection_resistance: float = 0.8
+    convection_resistance_k_per_w: float = 0.8
     #: Extra vertical spreading resistance per unit area, K m^2/W
     #: (lumped TIM + spreading correction).
-    interface_resistivity: float = 8e-6
+    interface_resistivity_k_m2_per_w: float = 8e-6
 
     def __post_init__(self) -> None:
-        if min(self.k_silicon, self.c_silicon, self.die_thickness,
-               self.k_sink, self.c_sink, self.sink_thickness,
-               self.sink_side, self.convection_resistance) <= 0:
+        if min(self.k_silicon, self.c_silicon, self.die_thickness_m,
+               self.k_sink, self.c_sink, self.sink_thickness_m,
+               self.sink_side_m,
+               self.convection_resistance_k_per_w) <= 0:
             raise ValueError("package constants must be positive")
 
-    def vertical_resistance(self, area: float) -> float:
+    def vertical_resistance(self, area_m2: float) -> float:
         """Block -> sink vertical resistance (conduction through die
         plus interface/spreading), K/W."""
-        if area <= 0:
+        if area_m2 <= 0:
             raise ValueError("area must be positive")
-        r_die = self.die_thickness / (self.k_silicon * area)
-        r_interface = self.interface_resistivity / area
+        r_die = self.die_thickness_m / (self.k_silicon * area_m2)
+        r_interface = self.interface_resistivity_k_m2_per_w / area_m2
         return r_die + r_interface
 
-    def lateral_resistance(self, distance: float, edge: float) -> float:
+    def lateral_resistance(self, distance_m: float, edge_m: float) -> float:
         """Block <-> block lateral resistance through the die, K/W.
 
-        ``distance`` is the centre-to-centre distance, ``edge`` the
+        ``distance_m`` is the centre-to-centre distance, ``edge_m`` the
         shared edge length.
         """
-        if distance <= 0 or edge <= 0:
+        if distance_m <= 0 or edge_m <= 0:
             raise ValueError("distance and edge must be positive")
-        return distance / (self.k_silicon * self.die_thickness * edge)
+        return distance_m / (self.k_silicon * self.die_thickness_m * edge_m)
 
-    def block_capacitance(self, area: float) -> float:
+    def block_capacitance(self, area_m2: float) -> float:
         """Thermal capacitance of one die block, J/K."""
-        return self.c_silicon * area * self.die_thickness
+        return self.c_silicon * area_m2 * self.die_thickness_m
 
     def sink_capacitance(self) -> float:
         """Lumped heatsink capacitance, J/K."""
-        return (self.c_sink * self.sink_side ** 2 * self.sink_thickness)
+        return (self.c_sink * self.sink_side_m ** 2 * self.sink_thickness_m)

@@ -75,7 +75,7 @@ class ThermalModel:
             conductance[i, i] += g_lat
             conductance[j, j] += g_lat
 
-        g_conv = 1.0 / self.package.convection_resistance
+        g_conv = 1.0 / self.package.convection_resistance_k_per_w
         conductance[sink, sink] += g_conv
         self._g_ambient[sink] = g_conv
         capacitance[sink] = self.package.sink_capacitance()

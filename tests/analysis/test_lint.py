@@ -1,0 +1,300 @@
+"""Tests for repro-lint: every rule fires on a known-bad fixture,
+stays quiet on the sanctioned spelling, and honours suppression."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.lint import LintReport, lint_paths, lint_source
+from repro.analysis.rules import RULES
+
+
+def findings_for(source, path="src/repro/thermal/fixture.py", **kwargs):
+    report = lint_source(source, path=path, **kwargs)
+    return report.findings
+
+
+def rule_ids(findings):
+    return [f.rule_id for f in findings]
+
+
+class TestRuleRegistry:
+    def test_ids_are_stable_and_ordered(self):
+        assert [r.rule_id for r in RULES] == [
+            "REP001", "REP002", "REP003", "REP004", "REP005"]
+
+    def test_every_rule_documents_itself(self):
+        for rule in RULES:
+            assert rule.title
+            assert rule.autofix_hint
+            assert (rule.__class__.__doc__ or "").startswith(rule.rule_id)
+
+
+class TestREP001UnseededRandom:
+    def test_module_level_random_fires(self):
+        findings = findings_for(
+            "import random\nx = random.random()\n",
+            path="src/repro/core/foo.py")
+        assert "REP001" in rule_ids(findings)
+
+    def test_unseeded_random_instance_fires(self):
+        findings = findings_for(
+            "import random\nrng = random.Random()\n",
+            path="src/repro/core/foo.py")
+        assert "REP001" in rule_ids(findings)
+
+    def test_seeded_random_instance_clean(self):
+        findings = findings_for(
+            "import random\nrng = random.Random(42)\n",
+            path="src/repro/core/foo.py")
+        assert "REP001" not in rule_ids(findings)
+
+    def test_import_alias_tracked(self):
+        findings = findings_for(
+            "import random as rnd\nx = rnd.choice([1, 2])\n",
+            path="src/repro/core/foo.py")
+        assert "REP001" in rule_ids(findings)
+
+    def test_from_import_tracked(self):
+        findings = findings_for(
+            "from random import randint\nx = randint(0, 9)\n",
+            path="src/repro/core/foo.py")
+        assert "REP001" in rule_ids(findings)
+
+    def test_generator_module_is_exempt(self):
+        findings = findings_for(
+            "import random\nx = random.random()\n",
+            path="src/repro/workloads/generator.py")
+        assert "REP001" not in rule_ids(findings)
+
+
+class TestREP002SetIteration:
+    def test_iterating_set_call_fires(self):
+        findings = findings_for(
+            "for x in set([3, 1, 2]):\n    print(x)\n")
+        assert "REP002" in rule_ids(findings)
+
+    def test_iterating_dict_keys_fires(self):
+        findings = findings_for(
+            "d = {'a': 1}\nfor k in d.keys():\n    print(k)\n")
+        assert "REP002" in rule_ids(findings)
+
+    def test_name_bound_to_set_fires(self):
+        findings = findings_for(
+            "def f():\n"
+            "    pending = {1, 2, 3}\n"
+            "    for x in pending:\n"
+            "        print(x)\n")
+        assert "REP002" in rule_ids(findings)
+
+    def test_self_attribute_set_fires(self):
+        findings = findings_for(
+            "class Q:\n"
+            "    def __init__(self):\n"
+            "        self.off = set()\n"
+            "    def drain(self):\n"
+            "        for x in self.off:\n"
+            "            print(x)\n")
+        assert "REP002" in rule_ids(findings)
+
+    def test_sorted_set_is_clean(self):
+        findings = findings_for(
+            "def f():\n"
+            "    pending = {1, 2, 3}\n"
+            "    for x in sorted(pending):\n"
+            "        print(x)\n")
+        assert "REP002" not in rule_ids(findings)
+
+    def test_rebinding_to_list_is_clean(self):
+        findings = findings_for(
+            "def f():\n"
+            "    items = {1, 2}\n"
+            "    items = sorted(items)\n"
+            "    for x in items:\n"
+            "        print(x)\n")
+        assert "REP002" not in rule_ids(findings)
+
+
+class TestREP003UnitSuffix:
+    def test_unsuffixed_quantity_param_fires_in_scoped_dir(self):
+        findings = findings_for(
+            "def step(self, interval_seconds: float) -> None:\n    pass\n",
+            path="src/repro/power/foo.py")
+        assert "REP003" in rule_ids(findings)
+
+    def test_suffixed_param_clean(self):
+        findings = findings_for(
+            "def step(self, interval_s: float) -> None:\n    pass\n",
+            path="src/repro/power/foo.py")
+        assert "REP003" not in rule_ids(findings)
+
+    def test_compound_suffix_clean(self):
+        findings = findings_for(
+            "class C:\n    convection_resistance_k_per_w: float = 0.8\n",
+            path="src/repro/thermal/foo.py")
+        assert "REP003" not in rule_ids(findings)
+
+    def test_dataclass_field_fires(self):
+        findings = findings_for(
+            "class C:\n    die_thickness: float = 0.1\n",
+            path="src/repro/thermal/foo.py")
+        assert "REP003" in rule_ids(findings)
+
+    def test_outside_scoped_dirs_no_suffix_requirement(self):
+        findings = findings_for(
+            "def step(self, interval_seconds: float) -> None:\n    pass\n",
+            path="src/repro/pipeline/foo.py")
+        assert "REP003" not in rule_ids(findings)
+
+    def test_mixed_unit_arithmetic_fires_everywhere(self):
+        findings = findings_for(
+            "def f(temp_k, power_w):\n    return temp_k + power_w\n",
+            path="src/repro/pipeline/foo.py")
+        assert "REP003" in rule_ids(findings)
+
+    def test_same_unit_arithmetic_clean(self):
+        findings = findings_for(
+            "def f(start_k, delta_k):\n    return start_k + delta_k\n",
+            path="src/repro/thermal/foo.py")
+        assert "REP003" not in rule_ids(findings)
+
+
+class TestREP004MutableDefault:
+    def test_list_default_fires(self):
+        findings = findings_for("def f(items=[]):\n    pass\n")
+        assert "REP004" in rule_ids(findings)
+
+    def test_dict_call_default_fires(self):
+        findings = findings_for("def f(cfg=dict()):\n    pass\n")
+        assert "REP004" in rule_ids(findings)
+
+    def test_kwonly_default_fires(self):
+        findings = findings_for("def f(*, seen=set()):\n    pass\n")
+        assert "REP004" in rule_ids(findings)
+
+    def test_none_default_clean(self):
+        findings = findings_for("def f(items=None):\n    pass\n")
+        assert "REP004" not in rule_ids(findings)
+
+    def test_tuple_default_clean(self):
+        findings = findings_for("def f(items=()):\n    pass\n")
+        assert "REP004" not in rule_ids(findings)
+
+
+class TestREP005FrozenMutation:
+    FROZEN = (
+        "from dataclasses import dataclass\n"
+        "@dataclass(frozen=True)\n"
+        "class Cfg:\n"
+        "    x: int = 1\n")
+
+    def test_attribute_assignment_fires(self):
+        findings = findings_for(
+            self.FROZEN + "def f(cfg: Cfg):\n    cfg.x = 2\n")
+        assert "REP005" in rule_ids(findings)
+
+    def test_object_setattr_fires(self):
+        findings = findings_for(
+            self.FROZEN
+            + "def f(cfg: Cfg):\n    object.__setattr__(cfg, 'x', 2)\n")
+        assert "REP005" in rule_ids(findings)
+
+    def test_object_setattr_in_post_init_allowed(self):
+        findings = findings_for(
+            "from dataclasses import dataclass\n"
+            "@dataclass(frozen=True)\n"
+            "class Cfg:\n"
+            "    x: int = 1\n"
+            "    def __post_init__(self):\n"
+            "        object.__setattr__(self, 'x', 2)\n")
+        assert "REP005" not in rule_ids(findings)
+
+    def test_replace_is_clean(self):
+        findings = findings_for(
+            self.FROZEN
+            + "import dataclasses\n"
+            "def f(cfg: Cfg):\n"
+            "    return dataclasses.replace(cfg, x=2)\n")
+        assert "REP005" not in rule_ids(findings)
+
+    def test_cross_file_frozen_class_via_extra_frozen(self):
+        findings = findings_for(
+            "def f(cfg: RemoteCfg):\n    cfg.x = 2\n",
+            extra_frozen=["RemoteCfg"])
+        assert "REP005" in rule_ids(findings)
+
+
+class TestSuppression:
+    def test_noqa_with_id_suppresses(self):
+        report = lint_source(
+            "def f(items=[]):  # repro: noqa[REP004]\n    pass\n")
+        assert report.ok
+        assert report.suppressed == 1
+
+    def test_bare_noqa_suppresses_all(self):
+        report = lint_source(
+            "def f(items=[]):  # repro: noqa\n    pass\n")
+        assert report.ok
+
+    def test_noqa_for_other_rule_does_not_suppress(self):
+        report = lint_source(
+            "def f(items=[]):  # repro: noqa[REP001]\n    pass\n")
+        assert not report.ok
+
+
+class TestDriver:
+    def test_repo_src_is_clean(self):
+        report = lint_paths(["src"])
+        assert report.ok, report.format()
+        assert report.files_checked > 30
+
+    def test_select_unknown_rule_raises(self):
+        with pytest.raises(ValueError, match="unknown rule"):
+            lint_paths(["src"], select=["REP999"])
+
+    def test_missing_path_raises(self):
+        with pytest.raises(OSError, match="no such file"):
+            lint_paths(["definitely/not/a/path"])
+
+    def test_select_restricts_rules(self):
+        report = lint_source("def f(items=[]):\n    pass\n",
+                             select=["REP001"])
+        assert report.ok
+
+    def test_finding_format_includes_hint(self):
+        findings = findings_for("def f(items=[]):\n    pass\n")
+        rep004 = [f for f in findings if f.rule_id == "REP004"][0]
+        text = rep004.format()
+        assert "REP004" in text and "[fix:" in text
+
+    def test_cli_exit_codes(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(items=[]):\n    pass\n")
+        good = tmp_path / "good.py"
+        good.write_text("def f(items=None):\n    pass\n")
+        run = lambda *a: subprocess.run(
+            [sys.executable, "-m", "repro.analysis.lint", *a],
+            capture_output=True, text=True)
+        assert run(str(good)).returncode == 0
+        assert run(str(bad)).returncode == 1
+        assert run("--select", "NOPE", str(good)).returncode == 2
+
+    def test_cli_list_rules(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.lint", "--list-rules"],
+            capture_output=True, text=True)
+        assert result.returncode == 0
+        for rule in RULES:
+            assert rule.rule_id in result.stdout
+
+    def test_cli_json_format(self, tmp_path):
+        import json
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(items=[]):\n    pass\n")
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.lint",
+             "--format", "json", str(bad)],
+            capture_output=True, text=True)
+        payload = json.loads(result.stdout)
+        assert payload["findings"][0]["rule"] == "REP004"

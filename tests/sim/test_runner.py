@@ -66,3 +66,38 @@ class TestSimulator:
         assert sim.thermal is not None
         assert sim.dtm is not None
         assert sim.floorplan.variant is FloorplanVariant.BASE
+
+    def test_warmup_resets_stats(self):
+        sim = Simulator(small_config())
+        sim._warmup()
+        stats = sim.processor.stats
+        assert stats.cycles == 0
+        assert stats.committed == 0
+        assert stats.stall_cycles == 0
+
+    def test_result_fields_populated(self):
+        result = run_simulation(small_config())
+        assert result.technique_label
+        assert result.cycles > 0 and result.committed > 0
+        assert result.ipc > 0
+        assert result.stall_cycles >= 0
+        assert result.global_stalls >= 0
+        assert isinstance(result.stall_reasons, dict)
+        assert result.iq_toggles >= 0
+        assert result.alu_turnoffs >= 0
+        assert result.rf_turnoffs >= 0
+        assert result.mean_temps and result.max_temps
+
+    def test_same_seed_identical_result(self):
+        a = run_simulation(small_config(seed=7))
+        b = run_simulation(small_config(seed=7))
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    def test_sanitize_flag_installs_sanitizer(self):
+        assert Simulator(small_config()).sanitizer is None
+        sim = Simulator(small_config(sanitize=True))
+        assert sim.sanitizer is not None
+
+    def test_sanitize_env_installs_sanitizer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert Simulator(small_config()).sanitizer is not None

@@ -32,7 +32,7 @@ class TestSteadyState:
         total = 25.0
         per_block = total / len(model.floorplan.names)
         steady = model.steady_state(uniform_powers(model, per_block))
-        expected = AMBIENT + total * model.package.convection_resistance
+        expected = AMBIENT + total * model.package.convection_resistance_k_per_w
         assert steady[SINK_NODE] == pytest.approx(expected, rel=1e-6)
 
     def test_more_power_means_hotter_block(self):

@@ -16,15 +16,20 @@ from repro.core.mapping import MappingKind
 from repro.core.policies import (ALUPolicy, IssueQueuePolicy,
                                  RegFilePolicy, TechniqueConfig)
 from repro.pipeline.config import ThermalConfig
+from repro.sim.parallel import ExperimentEngine
 from repro.sim.results import format_table
-from repro.sim.runner import SimulationConfig, run_simulation
+from repro.sim.runner import SimulationConfig
 from repro.thermal.floorplan import FloorplanVariant
 
 BENCH = "mesa"
 
+#: Shared engine: sweeps fan their independent runs over worker
+#: processes (REPRO_JOBS) and memoize them in the on-disk cache.
+_ENGINE = ExperimentEngine()
 
-def _run(cycles, thermal=None, techniques=None,
-         variant=FloorplanVariant.ISSUE_QUEUE, bench=BENCH):
+
+def _config(cycles, thermal=None, techniques=None,
+            variant=FloorplanVariant.ISSUE_QUEUE, bench=BENCH):
     config = SimulationConfig(
         benchmark=bench, variant=variant,
         techniques=techniques or TechniqueConfig(
@@ -32,19 +37,23 @@ def _run(cycles, thermal=None, techniques=None,
         max_cycles=cycles)
     if thermal is not None:
         config = dataclasses.replace(config, thermal=thermal)
-    return run_simulation(config)
+    return config
+
+
+def _run(cycles, **kwargs):
+    return _ENGINE.run_one(_config(cycles, **kwargs))
 
 
 def test_ablation_toggle_threshold(benchmark, cycles):
     def sweep():
-        rows = []
-        for threshold in (0.25, 0.5, 1.0, 2.0):
-            thermal = dataclasses.replace(ThermalConfig(),
-                                          toggle_threshold_k=threshold)
-            result = _run(cycles, thermal=thermal)
-            rows.append((threshold, result.ipc, result.iq_toggles,
-                         result.global_stalls))
-        return rows
+        thresholds = (0.25, 0.5, 1.0, 2.0)
+        results = _ENGINE.run_many([
+            _config(cycles, thermal=dataclasses.replace(
+                ThermalConfig(), toggle_threshold_k=threshold))
+            for threshold in thresholds])
+        return [(threshold, result.ipc, result.iq_toggles,
+                 result.global_stalls)
+                for threshold, result in zip(thresholds, results)]
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print()
@@ -56,16 +65,17 @@ def test_ablation_toggle_threshold(benchmark, cycles):
 
 def test_ablation_sensing_interval(benchmark, cycles):
     def sweep():
-        rows = []
-        for interval in (125, 250, 1000):
-            thermal = dataclasses.replace(
-                ThermalConfig(), sensor_interval_cycles=interval)
-            techniques = TechniqueConfig(alus=ALUPolicy.FINE_GRAIN)
-            result = _run(cycles, thermal=thermal, techniques=techniques,
-                          variant=FloorplanVariant.ALU, bench="perlbmk")
-            rows.append((interval, result.ipc, result.alu_turnoffs,
-                         result.global_stalls))
-        return rows
+        intervals = (125, 250, 1000)
+        results = _ENGINE.run_many([
+            _config(cycles,
+                    thermal=dataclasses.replace(
+                        ThermalConfig(), sensor_interval_cycles=interval),
+                    techniques=TechniqueConfig(alus=ALUPolicy.FINE_GRAIN),
+                    variant=FloorplanVariant.ALU, bench="perlbmk")
+            for interval in intervals])
+        return [(interval, result.ipc, result.alu_turnoffs,
+                 result.global_stalls)
+                for interval, result in zip(intervals, results)]
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print()
@@ -75,15 +85,16 @@ def test_ablation_sensing_interval(benchmark, cycles):
 
 def test_ablation_turnoff_hysteresis(benchmark, cycles):
     def sweep():
-        rows = []
-        for hysteresis in (0.1, 0.4, 1.5):
-            thermal = dataclasses.replace(
-                ThermalConfig(), turnoff_hysteresis_k=hysteresis)
-            techniques = TechniqueConfig(alus=ALUPolicy.FINE_GRAIN)
-            result = _run(cycles, thermal=thermal, techniques=techniques,
-                          variant=FloorplanVariant.ALU, bench="perlbmk")
-            rows.append((hysteresis, result.ipc, result.alu_turnoffs))
-        return rows
+        hystereses = (0.1, 0.4, 1.5)
+        results = _ENGINE.run_many([
+            _config(cycles,
+                    thermal=dataclasses.replace(
+                        ThermalConfig(), turnoff_hysteresis_k=hysteresis),
+                    techniques=TechniqueConfig(alus=ALUPolicy.FINE_GRAIN),
+                    variant=FloorplanVariant.ALU, bench="perlbmk")
+            for hysteresis in hystereses])
+        return [(hysteresis, result.ipc, result.alu_turnoffs)
+                for hysteresis, result in zip(hystereses, results)]
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print()
@@ -95,16 +106,18 @@ def test_ablation_turnoff_hysteresis(benchmark, cycles):
 
 def test_ablation_completely_balanced_mapping(benchmark, cycles):
     def sweep():
-        rows = []
-        for kind in (MappingKind.PRIORITY, MappingKind.BALANCED,
-                     MappingKind.COMPLETELY_BALANCED):
-            techniques = TechniqueConfig(
-                regfile=RegFilePolicy(kind, fine_grain_turnoff=True))
-            result = _run(cycles, techniques=techniques,
-                          variant=FloorplanVariant.REGFILE, bench="eon")
-            rows.append((kind.value, result.ipc, result.rf_turnoffs,
-                         result.global_stalls))
-        return rows
+        kinds = (MappingKind.PRIORITY, MappingKind.BALANCED,
+                 MappingKind.COMPLETELY_BALANCED)
+        results = _ENGINE.run_many([
+            _config(cycles,
+                    techniques=TechniqueConfig(
+                        regfile=RegFilePolicy(kind,
+                                              fine_grain_turnoff=True)),
+                    variant=FloorplanVariant.REGFILE, bench="eon")
+            for kind in kinds])
+        return [(kind.value, result.ipc, result.rf_turnoffs,
+                 result.global_stalls)
+                for kind, result in zip(kinds, results)]
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print()
@@ -123,15 +136,17 @@ def test_ablation_temporal_fallback(benchmark, cycles):
     from repro.pipeline.config import ThermalConfig as _TC
 
     def sweep():
-        rows = []
-        for technique in ("stall", "throttle"):
-            thermal = _dc.replace(_TC(), temporal_technique=technique)
-            result = _run(cycles, thermal=thermal,
-                          techniques=TechniqueConfig(),
-                          variant=FloorplanVariant.ALU, bench="perlbmk")
-            rows.append((technique, result.ipc, result.global_stalls,
-                         result.stall_cycles))
-        return rows
+        techniques = ("stall", "throttle")
+        results = _ENGINE.run_many([
+            _config(cycles,
+                    thermal=_dc.replace(_TC(),
+                                        temporal_technique=technique),
+                    techniques=TechniqueConfig(),
+                    variant=FloorplanVariant.ALU, bench="perlbmk")
+            for technique in techniques])
+        return [(technique, result.ipc, result.global_stalls,
+                 result.stall_cycles)
+                for technique, result in zip(techniques, results)]
 
     rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print()

@@ -113,13 +113,20 @@ class Sanitizer:
 
     def _watch_accountant(self, accountant: Any) -> None:
         original_sample = accountant.sample
+        original_sample_powers = accountant.sample_powers
 
         def sample(snapshot: Any, interval_s: float) -> Dict[str, float]:
             powers = original_sample(snapshot, interval_s)
             self._check_energy(accountant)
             return powers
 
+        def sample_powers(snapshot: Any, interval_s: float) -> Any:
+            powers = original_sample_powers(snapshot, interval_s)
+            self._check_energy(accountant)
+            return powers
+
         accountant.sample = sample
+        accountant.sample_powers = sample_powers
 
     def _check_energy(self, accountant: Any) -> None:
         self.stats.energy_checks += 1
@@ -144,8 +151,14 @@ class Sanitizer:
         original_step = thermal.step
         original_init = thermal.initialize_steady_state
 
+        original_step_vector = thermal.step_vector
+
         def step(powers: Mapping[str, float], dt: float) -> None:
             original_step(powers, dt)
+            self._check_temperatures(thermal, "after step")
+
+        def step_vector(die_powers: Any, dt: float) -> None:
+            original_step_vector(die_powers, dt)
             self._check_temperatures(thermal, "after step")
 
         def initialize_steady_state(powers: Mapping[str, float]) -> None:
@@ -153,6 +166,7 @@ class Sanitizer:
             self._check_temperatures(thermal, "after steady-state init")
 
         thermal.step = step
+        thermal.step_vector = step_vector
         thermal.initialize_steady_state = initialize_steady_state
 
     def _check_temperatures(self, thermal: Any, where: str) -> None:

@@ -11,8 +11,11 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import List, Optional
+import tempfile
+import time
+from typing import Any, Dict, List, Optional
 
 from .analysis import lint as analysis_lint
 from .core.mapping import MappingKind
@@ -20,6 +23,7 @@ from .core.policies import (ALUPolicy, IssueQueuePolicy, RegFilePolicy,
                             TechniqueConfig)
 from .sim.experiments import (alu_experiment, issue_queue_experiment,
                               regfile_experiment)
+from .sim.parallel import ExperimentEngine, ResultCache, default_jobs
 from .sim.runner import SimulationConfig, run_simulation
 from .thermal.floorplan import FloorplanVariant
 from .workloads.spec2000 import BENCHMARK_NAMES, PROFILES
@@ -90,9 +94,119 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     runner = _EXPERIMENTS[args.number]
     benchmarks = (_parse_benchmarks(args.benchmarks)
                   if args.benchmarks else tuple(BENCHMARK_NAMES))
+    engine = ExperimentEngine(jobs=args.jobs)
     experiment = runner(benchmarks=benchmarks, max_cycles=args.cycles,
-                        seed=args.seed)
+                        seed=args.seed, engine=engine)
     print(experiment.format())
+    stats = engine.stats
+    print(f"\n[{stats.total} runs: {stats.cache_hits} cached, "
+          f"{stats.parallel_runs} parallel, {stats.inline_runs} inline; "
+          f"jobs={engine.jobs}]")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.root}")
+        return 0
+    info = cache.info()
+    print(f"cache root: {info.root}")
+    print(f"entries:    {info.entries}")
+    print(f"size:       {info.size_bytes / 1024:.1f} KiB")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Time the paper-figure grids through the execution engine.
+
+    Each grid is measured three ways: cold through the worker pool,
+    once more against the now-warm cache, and (with
+    ``--compare-serial``) cold again at ``jobs=1``.  The measurements
+    land in a JSON report (default ``BENCH_parallel.json``).
+    """
+    benchmarks = (_parse_benchmarks(args.benchmarks)
+                  if args.benchmarks else tuple(BENCHMARK_NAMES))
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    figures = [f.strip() for f in args.figures.split(",") if f.strip()]
+    for figure in figures:
+        if figure not in _EXPERIMENTS:
+            raise SystemExit(f"unknown figure {figure!r}; "
+                             f"choose from {sorted(_EXPERIMENTS)}")
+
+    report: Dict[str, Any] = {
+        "jobs": jobs,
+        "cycles": args.cycles,
+        "benchmarks": list(benchmarks),
+        "grids": [],
+    }
+
+    single_cycles = args.cycles
+    config = SimulationConfig(
+        benchmark=benchmarks[0], variant=FloorplanVariant.ALU,
+        techniques=TechniqueConfig(alus=ALUPolicy.FINE_GRAIN),
+        max_cycles=single_cycles)
+    run_simulation(config)  # warm interpreter/caches before timing
+    start = time.perf_counter()
+    run_simulation(config)
+    single_wall = time.perf_counter() - start
+    report["single_run"] = {
+        "benchmark": benchmarks[0],
+        "cycles": single_cycles,
+        "wall_s": single_wall,
+        "cycles_per_s": single_cycles / single_wall,
+    }
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        for figure in figures:
+            runner = _EXPERIMENTS[figure]
+            engine = ExperimentEngine(jobs=jobs,
+                                      cache=ResultCache(tmp))
+            start = time.perf_counter()
+            runner(benchmarks=benchmarks, max_cycles=args.cycles,
+                   seed=args.seed, engine=engine)
+            cold_wall = time.perf_counter() - start
+            runs = engine.stats.total
+            total_cycles = runs * args.cycles
+
+            start = time.perf_counter()
+            runner(benchmarks=benchmarks, max_cycles=args.cycles,
+                   seed=args.seed, engine=engine)
+            warm_wall = time.perf_counter() - start
+
+            grid: Dict[str, Any] = {
+                "figure": figure,
+                "runs": runs,
+                "total_cycles": total_cycles,
+                "wall_s": cold_wall,
+                "cycles_per_s": total_cycles / cold_wall,
+                "warm_wall_s": warm_wall,
+                "cache_hit_rate": engine.stats.cache_hit_rate,
+            }
+            if args.compare_serial:
+                serial = ExperimentEngine(jobs=1, use_cache=False)
+                start = time.perf_counter()
+                runner(benchmarks=benchmarks, max_cycles=args.cycles,
+                       seed=args.seed, engine=serial)
+                serial_wall = time.perf_counter() - start
+                grid["serial_wall_s"] = serial_wall
+                grid["parallel_speedup"] = serial_wall / cold_wall
+            report["grids"].append(grid)
+            line = (f"figure {figure}: {runs} runs, "
+                    f"{cold_wall:.2f}s cold "
+                    f"({grid['cycles_per_s']:,.0f} cycles/s), "
+                    f"{warm_wall:.3f}s cached "
+                    f"(hit rate {grid['cache_hit_rate']:.0%})")
+            if args.compare_serial:
+                line += (f", {grid['serial_wall_s']:.2f}s serial "
+                         f"({grid['parallel_speedup']:.2f}x)")
+            print(line)
+
+    with open(args.output, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"report written to {args.output}")
     return 0
 
 
@@ -132,7 +246,36 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated subset (default: all 22)")
     fig_p.add_argument("--cycles", type=int, default=100_000)
     fig_p.add_argument("--seed", type=int, default=1)
+    fig_p.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: REPRO_JOBS or "
+                            "all cores; 1 = inline)")
     fig_p.set_defaults(func=_cmd_figure)
+
+    bench_p = sub.add_parser(
+        "bench", help="time the figure grids through the parallel "
+                      "engine and write a JSON report")
+    bench_p.add_argument("--figures", default="6,7,8",
+                         help="comma-separated figure numbers "
+                              "(default: 6,7,8)")
+    bench_p.add_argument("--benchmarks", default="",
+                         help="comma-separated subset (default: all 22)")
+    bench_p.add_argument("--cycles", type=int, default=100_000)
+    bench_p.add_argument("--seed", type=int, default=1)
+    bench_p.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: REPRO_JOBS "
+                              "or all cores)")
+    bench_p.add_argument("--compare-serial", action="store_true",
+                         help="also time each grid at jobs=1 and "
+                              "report the parallel speedup")
+    bench_p.add_argument("--output", default="BENCH_parallel.json",
+                         help="report path (default: "
+                              "BENCH_parallel.json)")
+    bench_p.set_defaults(func=_cmd_bench)
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clear the on-disk result cache")
+    cache_p.add_argument("action", choices=("info", "clear"))
+    cache_p.set_defaults(func=_cmd_cache)
 
     lint_p = sub.add_parser(
         "lint", help="run repro-lint static analysis (REP001-REP005)",

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Set
 
-from .isa import MicroOp, OpClass
+from .isa import DEFAULT_LATENCY, MicroOp, OpClass
 
 #: Op classes the integer ALUs execute.
 INT_OPCLASSES: Set[OpClass] = {
@@ -41,7 +41,7 @@ class ALUCounters:
     turnoff_events: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _InFlight:
     op: MicroOp
     rob_index: int
@@ -76,14 +76,15 @@ class FunctionalUnit:
         ``extra_latency`` adds cache latency to loads.  Single-cycle
         ops are pipelined; multi-cycle ops occupy the unit.
         """
-        if not self.can_execute(op.opclass):
-            raise ValueError(f"{self.name} cannot execute {op.opclass}")
-        if not self.can_accept(now):
+        opclass = op.opclass
+        if opclass not in self.opclasses:
+            raise ValueError(f"{self.name} cannot execute {opclass}")
+        if now < self._blocked_until:
             raise RuntimeError(f"{self.name} is occupied")
-        latency = op.latency + extra_latency
-        if op.opclass is OpClass.INT_MUL:
-            self._blocked_until = now + op.latency
-        finish = now + latency
+        base = DEFAULT_LATENCY[opclass]
+        if opclass is OpClass.INT_MUL:
+            self._blocked_until = now + base
+        finish = now + base + extra_latency
         self._pipeline.append(_InFlight(op, rob_index, finish))
         self.counters.ops += 1
         return finish

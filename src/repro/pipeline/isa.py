@@ -55,14 +55,21 @@ DEFAULT_LATENCY: Dict[OpClass, int] = {
 NUM_INT_ARCH_REGS = 32
 NUM_FP_ARCH_REGS = 32
 
+#: The FP op classes as a frozenset: hot paths test membership here
+#: instead of calling the :attr:`OpClass.is_fp` property.
+FP_OPCLASSES = frozenset((OpClass.FP_ADD, OpClass.FP_MUL))
 
-@dataclass
+
+@dataclass(slots=True)
 class MicroOp:
     """One dynamic instruction as seen by the timing pipeline.
 
     Register operands are architectural indices; integer and FP register
     files are separate namespaces (the ``is_fp`` flag of the op class
     disambiguates them for rename).  ``None`` operands are absent.
+
+    Slotted: hundreds of thousands of these are created per run and
+    their fields are read in every pipeline stage.
     """
 
     seq: int
@@ -85,7 +92,12 @@ class MicroOp:
 
     def sources(self) -> Tuple[int, ...]:
         """Architectural source registers, omitting absent operands."""
-        return tuple(s for s in (self.src1, self.src2) if s is not None)
+        s1, s2 = self.src1, self.src2
+        if s1 is None:
+            return () if s2 is None else (s2,)
+        if s2 is None:
+            return (s1,)
+        return (s1, s2)
 
 
 class AssemblyError(ValueError):

@@ -47,9 +47,10 @@ class QueueMode(enum.Enum):
     TOGGLED = 1
 
 
-@dataclass
+@dataclass(slots=True)
 class IQEntry:
-    """One occupied issue-queue slot."""
+    """One occupied issue-queue slot (slotted: wakeup and compaction
+    touch every entry every cycle)."""
 
     op: MicroOp
     rob_index: int
@@ -205,11 +206,14 @@ class CompactingIssueQueue:
     # wakeup / select interface
     # ------------------------------------------------------------------
     def wakeup(self, tag: int) -> None:
-        """Broadcast a completing physical-register tag to all entries."""
+        """Broadcast a completing physical-register tag to all entries.
+
+        The broadcast reaches every occupied slot regardless of
+        priority, so this scans physical slots directly (cheaper than
+        walking the logical order indirection).
+        """
         self.counters.broadcasts += 1
-        order, slots = self._order, self.slots
-        for logical in range(self._top):
-            entry = slots[order[logical]]
+        for entry in self.slots:
             if entry is not None and entry.waiting_tags:
                 entry.waiting_tags.discard(tag)
 
@@ -268,6 +272,10 @@ class CompactingIssueQueue:
         now = self._now
         order, slots = self._order, self.slots
         counters = self.counters
+        counter_evals = counters.counter_evals
+        compaction_moves = counters.compaction_moves
+        mux_selects = counters.mux_selects
+        compact_width = self.compact_width
         n = self.n_entries
         mid = self.mid
         toggled = self.mode is QueueMode.TOGGLED
@@ -288,8 +296,9 @@ class CompactingIssueQueue:
                 reclaimable_below += 1
                 marked_below += 1
                 continue
-            issued = entry.issued_at is not None
-            if issued and now - entry.issued_at >= window:
+            issued_at = entry.issued_at
+            issued = issued_at is not None
+            if issued and now - issued_at >= window:
                 reclaimable_below += 1
                 marked_below += 1
                 removed = True
@@ -299,10 +308,10 @@ class CompactingIssueQueue:
                 # Gating rules 1 and 2: an invalid entry below means
                 # this entry's data lines, mux selects, and counter
                 # stages all evaluate this cycle.
-                counters.counter_evals[src_half] += 1
+                counter_evals[src_half] += 1
             shift = reclaimable_below
-            if shift > self.compact_width:
-                shift = self.compact_width
+            if shift > compact_width:
+                shift = compact_width
             dst_logical = logical - shift
             dst_phys = order[dst_logical]
             new_slots[dst_phys] = entry
@@ -312,8 +321,8 @@ class CompactingIssueQueue:
                 marked_below += 1  # marked invalid while awaiting replay
             if shift:
                 dst_half = 0 if dst_phys < mid else 1
-                counters.compaction_moves[src_half] += 1
-                counters.mux_selects[dst_half] += 1
+                compaction_moves[src_half] += 1
+                mux_selects[dst_half] += 1
                 if toggled and logical >= boundary > dst_logical:
                     counters.long_moves[src_half] += 1
         self.slots = new_slots

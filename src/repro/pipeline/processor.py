@@ -28,7 +28,7 @@ from .branch import BranchPredictor, TracePredictor
 from .caches import MemoryHierarchy
 from .config import ProcessorConfig
 from .frontend import FetchUnit
-from .isa import NUM_INT_ARCH_REGS, MicroOp, OpClass
+from .isa import FP_OPCLASSES, NUM_INT_ARCH_REGS, MicroOp, OpClass
 from .issue_queue import CompactingIssueQueue, IQEntry
 from .regfile import RegisterFileBank, RenameTable
 from .rob import ActiveList, LoadStoreQueue, ROBEntry
@@ -176,18 +176,20 @@ class Processor:
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Advance one cycle."""
-        self.now += 1
-        self.stats.cycles += 1
-        if self.is_stalled:
-            self.stats.stall_cycles += 1
+        now = self.now + 1
+        self.now = now
+        stats = self.stats
+        stats.cycles += 1
+        if now < self.stalled_until:
+            stats.stall_cycles += 1
             return
         self._commit()
         self._writeback()
         for unit in self._all_units:
             if unit.busy:
                 unit.counters.busy_cycles += 1
-        if self.is_throttled and self.now % 2:
-            self.stats.throttled_cycles += 1
+        if now < self.throttled_until and now % 2:
+            stats.throttled_cycles += 1
             return  # gated cycle: in-flight work drained, nothing new
         self._issue()
         self.int_iq.tick()
@@ -220,8 +222,7 @@ class Processor:
     # stages
     # ------------------------------------------------------------------
     def _commit(self) -> None:
-        ready = self.rob.commit_ready()
-        n = min(len(ready), self.config.commit_width)
+        n = self.rob.ready_count(self.config.commit_width)
         if not n:
             return
         for entry in self.rob.retire(n):
@@ -234,20 +235,23 @@ class Processor:
             self.stats.committed += 1
 
     def _writeback(self) -> None:
+        now = self.now
+        rob = self.rob
         for unit in self._all_units:
             if not unit._pipeline:
                 continue
-            for done in unit.drain(self.now):
+            for done in unit.drain(now):
                 op = done.op
-                self.rob.mark_done(done.rob_index)
+                entry = rob.get(done.rob_index)
+                entry.done = True
                 if op.opclass is OpClass.BRANCH:
-                    self.fetch.branch_resolved(op.seq, self.now)
-                tag = self.rob.get(done.rob_index).dst_tag
+                    self.fetch.branch_resolved(op.seq, now)
+                tag = entry.dst_tag
                 if tag is not None:
                     self.rename.mark_ready(tag)
                     self.int_iq.wakeup(tag)
                     self.fp_iq.wakeup(tag)
-                    if op.opclass.is_fp:
+                    if op.opclass in FP_OPCLASSES:
                         self.fp_reg_accesses += 1
                     else:
                         self.regfile.write()
@@ -261,10 +265,15 @@ class Processor:
 
     def _issue_int(self, budget: int) -> int:
         busy = []
+        now = self.now
         blocked = self.regfile.blocked_alus()
-        for i, alu in enumerate(self.int_alus):
-            busy.append(alu.busy or i in blocked
-                        or not alu.can_accept(self.now))
+        if blocked:
+            for i, alu in enumerate(self.int_alus):
+                busy.append(alu.busy or i in blocked
+                            or now < alu._blocked_until)
+        else:
+            for alu in self.int_alus:
+                busy.append(alu.busy or now < alu._blocked_until)
         grants = self.int_select.arbitrate(
             self.int_iq, busy,
             eligible=self._int_slot_eligible, limit=budget)
@@ -339,17 +348,18 @@ class Processor:
             self.fetch.unpop(not_placed)
 
     def _try_dispatch(self, op: MicroOp) -> bool:
-        queue = self.fp_iq if op.opclass.is_fp else self.int_iq
+        queue = self.fp_iq if op.opclass in FP_OPCLASSES else self.int_iq
         if self.rob.full or not queue.can_insert():
             return False
-        if LoadStoreQueue.needs_entry(op) and self.lsq.full:
+        needs_lsq = LoadStoreQueue.needs_entry(op)
+        if needs_lsq and self.lsq.full:
             return False
         if op.dst is not None and self.rename.free_count() == 0:
             return False
         renamed = self.rename.rename(op, fp_offset=FP_RENAME_OFFSET)
         rob_index = self.rob.allocate(ROBEntry(
             op=op, dst_tag=renamed.dst_tag, freed_tag=renamed.freed_tag))
-        if LoadStoreQueue.needs_entry(op):
+        if needs_lsq:
             self.lsq.allocate()
         waiting = {t for t in renamed.src_tags
                    if not self.rename.is_ready(t)}

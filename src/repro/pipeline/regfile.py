@@ -21,14 +21,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.mapping import PortMapping
-from .isa import MicroOp
+from .isa import FP_OPCLASSES, MicroOp
 
 
 class RenameError(RuntimeError):
     """Raised when rename runs out of physical registers."""
 
 
-@dataclass
+@dataclass(slots=True)
 class RenamedOp:
     """Operand tags produced by rename for one micro-op."""
 
@@ -69,16 +69,24 @@ class RenameTable:
         and is released when the op commits.  Raises
         :class:`RenameError` when the free list is empty.
         """
-        offset = fp_offset if op.opclass.is_fp else 0
-        src_tags = tuple(self._map[offset + s] for s in op.sources())
+        offset = fp_offset if op.opclass in FP_OPCLASSES else 0
+        amap = self._map
+        s1, s2 = op.src1, op.src2
+        if s1 is None:
+            src_tags: Tuple[int, ...] = (
+                () if s2 is None else (amap[offset + s2],))
+        elif s2 is None:
+            src_tags = (amap[offset + s1],)
+        else:
+            src_tags = (amap[offset + s1], amap[offset + s2])
         dst_tag = None
         freed = None
         if op.dst is not None:
             if not self._free:
                 raise RenameError("out of physical registers")
             dst_tag = self._free.pop()
-            freed = self._map[offset + op.dst]
-            self._map[offset + op.dst] = dst_tag
+            freed = amap[offset + op.dst]
+            amap[offset + op.dst] = dst_tag
             self._ready.discard(dst_tag)
         return RenamedOp(dst_tag=dst_tag, src_tags=src_tags, freed_tag=freed)
 
@@ -112,6 +120,9 @@ class RegisterFileBank:
         self.counters = RegFileCounters(
             reads=[0] * self.n_copies, writes=[0] * self.n_copies)
         self._off: Set[int] = set()
+        #: Cached union of the mapped ALUs of every turned-off copy,
+        #: maintained by turn_off/turn_on — issue reads it every cycle.
+        self._blocked: Set[int] = set()
 
     # ------------------------------------------------------------------
     # access accounting
@@ -147,12 +158,14 @@ class RegisterFileBank:
         if not 0 <= copy < self.n_copies:
             raise IndexError(copy)
         self._off.add(copy)
+        self._recompute_blocked()
         return self.mapping.alus_on_copy(copy)
 
     def turn_on(self, copy: int) -> List[int]:
         """Re-enable ``copy``; returns the ALUs that may unblock
         (callers must check their other port's copy too)."""
         self._off.discard(copy)
+        self._recompute_blocked()
         return self.mapping.alus_on_copy(copy)
 
     def is_off(self, copy: int) -> bool:
@@ -162,8 +175,15 @@ class RegisterFileBank:
         return len(self._off) == self.n_copies
 
     def blocked_alus(self) -> Set[int]:
-        """ALUs unusable because one of their port copies is off."""
+        """ALUs unusable because one of their port copies is off.
+
+        Returns the maintained set (treat as read-only); it changes
+        only on turn_off/turn_on, not per cycle.
+        """
+        return self._blocked
+
+    def _recompute_blocked(self) -> None:
         blocked: Set[int] = set()
         for copy in sorted(self._off):
             blocked.update(self.mapping.alus_on_copy(copy))
-        return blocked
+        self._blocked = blocked

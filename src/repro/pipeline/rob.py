@@ -15,7 +15,7 @@ from typing import List, Optional
 from .isa import MicroOp, OpClass
 
 
-@dataclass
+@dataclass(slots=True)
 class ROBEntry:
     """One active-list slot."""
 
@@ -76,6 +76,27 @@ class ActiveList:
                 break
             ready.append(entry)
             pos = (pos + 1) % self.capacity
+        return ready
+
+    def ready_count(self, limit: int) -> int:
+        """Number of completed entries at the head, capped at ``limit``.
+
+        Equivalent to ``min(len(commit_ready()), limit)`` without
+        materialising the list past the commit width.
+        """
+        ready = 0
+        pos = self._head
+        entries = self._entries
+        capacity = self.capacity
+        remaining = min(self._count, limit)
+        while ready < remaining:
+            entry = entries[pos]
+            if entry is None or not entry.done:
+                break
+            ready += 1
+            pos += 1
+            if pos == capacity:
+                pos = 0
         return ready
 
     def retire(self, count: int) -> List[ROBEntry]:

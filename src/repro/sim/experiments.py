@@ -22,21 +22,21 @@ from ..thermal.floorplan import (FP_QUEUE_BLOCKS, INT_ALU_BLOCKS,
                                  INT_QUEUE_BLOCKS, INT_REG_BLOCKS,
                                  FloorplanVariant)
 from ..workloads.spec2000 import BENCHMARK_NAMES
+from .parallel import ExperimentEngine, run_experiments
 from .results import SimulationResult, format_table, mean_speedup
-from .runner import SimulationConfig, run_simulation
+from .runner import SimulationConfig
 
 #: Stall fraction above which a run counts as "constrained by" the
 #: study's resource (used for the paper's per-category averages).
 CONSTRAINED_STALL_FRACTION = 0.02
 
 
-def _run(benchmark: str, variant: FloorplanVariant,
-         techniques: TechniqueConfig, label: str,
-         max_cycles: int, seed: int) -> SimulationResult:
-    config = SimulationConfig(
+def _config(benchmark: str, variant: FloorplanVariant,
+            techniques: TechniqueConfig, label: str,
+            max_cycles: int, seed: int) -> SimulationConfig:
+    return SimulationConfig(
         benchmark=benchmark, variant=variant, techniques=techniques,
         max_cycles=max_cycles, seed=seed, technique_label=label)
-    return run_simulation(config)
 
 
 def _constrained(baseline: SimulationResult) -> bool:
@@ -115,19 +115,25 @@ class IssueQueueExperiment:
 
 def issue_queue_experiment(
         benchmarks: Sequence[str] = tuple(BENCHMARK_NAMES),
-        max_cycles: int = 120_000, seed: int = 1) -> IssueQueueExperiment:
+        max_cycles: int = 120_000, seed: int = 1,
+        engine: Optional[ExperimentEngine] = None) -> IssueQueueExperiment:
     """Run Figure 6 / Table 4: toggling vs base, IQ-constrained chip."""
+    configs = []
+    for bench in benchmarks:
+        configs.append(_config(
+            bench, FloorplanVariant.ISSUE_QUEUE,
+            TechniqueConfig(issue_queue=IssueQueuePolicy.ACTIVITY_TOGGLING),
+            "activity-toggling", max_cycles, seed))
+        configs.append(_config(
+            bench, FloorplanVariant.ISSUE_QUEUE,
+            TechniqueConfig(issue_queue=IssueQueuePolicy.BASE),
+            "base", max_cycles, seed))
+    run_results = iter(run_experiments(configs, engine))
     toggling: Dict[str, SimulationResult] = {}
     base: Dict[str, SimulationResult] = {}
     for bench in benchmarks:
-        toggling[bench] = _run(
-            bench, FloorplanVariant.ISSUE_QUEUE,
-            TechniqueConfig(issue_queue=IssueQueuePolicy.ACTIVITY_TOGGLING),
-            "activity-toggling", max_cycles, seed)
-        base[bench] = _run(
-            bench, FloorplanVariant.ISSUE_QUEUE,
-            TechniqueConfig(issue_queue=IssueQueuePolicy.BASE),
-            "base", max_cycles, seed)
+        toggling[bench] = next(run_results)
+        base[bench] = next(run_results)
     return IssueQueueExperiment(toggling=toggling, base=base)
 
 
@@ -206,25 +212,25 @@ class ALUExperiment:
 
 
 def alu_experiment(benchmarks: Sequence[str] = tuple(BENCHMARK_NAMES),
-                   max_cycles: int = 120_000, seed: int = 1
+                   max_cycles: int = 120_000, seed: int = 1,
+                   engine: Optional[ExperimentEngine] = None
                    ) -> ALUExperiment:
     """Run Figure 7 / Table 5 on the ALU-constrained chip."""
+    policies = (("round-robin", ALUPolicy.ROUND_ROBIN),
+                ("fine-grain", ALUPolicy.FINE_GRAIN),
+                ("base", ALUPolicy.BASE))
+    configs = [
+        _config(bench, FloorplanVariant.ALU, TechniqueConfig(alus=policy),
+                label, max_cycles, seed)
+        for bench in benchmarks for label, policy in policies]
+    run_results = iter(run_experiments(configs, engine))
     round_robin: Dict[str, SimulationResult] = {}
     fine_grain: Dict[str, SimulationResult] = {}
     base: Dict[str, SimulationResult] = {}
     for bench in benchmarks:
-        round_robin[bench] = _run(
-            bench, FloorplanVariant.ALU,
-            TechniqueConfig(alus=ALUPolicy.ROUND_ROBIN),
-            "round-robin", max_cycles, seed)
-        fine_grain[bench] = _run(
-            bench, FloorplanVariant.ALU,
-            TechniqueConfig(alus=ALUPolicy.FINE_GRAIN),
-            "fine-grain", max_cycles, seed)
-        base[bench] = _run(
-            bench, FloorplanVariant.ALU,
-            TechniqueConfig(alus=ALUPolicy.BASE),
-            "base", max_cycles, seed)
+        round_robin[bench] = next(run_results)
+        fine_grain[bench] = next(run_results)
+        base[bench] = next(run_results)
     return ALUExperiment(round_robin=round_robin,
                          fine_grain=fine_grain, base=base)
 
@@ -320,14 +326,18 @@ class RegFileExperiment:
 
 
 def regfile_experiment(benchmarks: Sequence[str] = tuple(BENCHMARK_NAMES),
-                       max_cycles: int = 120_000, seed: int = 1
+                       max_cycles: int = 120_000, seed: int = 1,
+                       engine: Optional[ExperimentEngine] = None
                        ) -> RegFileExperiment:
     """Run Figure 8 / Table 6 on the register-file-constrained chip."""
+    configs = [
+        _config(bench, FloorplanVariant.REGFILE,
+                TechniqueConfig(regfile=policy), label, max_cycles, seed)
+        for bench in benchmarks for label, policy in RF_CONFIGS.items()]
+    run_results = iter(run_experiments(configs, engine))
     results: Dict[str, Dict[str, SimulationResult]] = {
         label: {} for label in RF_CONFIGS}
     for bench in benchmarks:
-        for label, policy in RF_CONFIGS.items():
-            results[label][bench] = _run(
-                bench, FloorplanVariant.REGFILE,
-                TechniqueConfig(regfile=policy), label, max_cycles, seed)
+        for label in RF_CONFIGS:
+            results[label][bench] = next(run_results)
     return RegFileExperiment(results=results)

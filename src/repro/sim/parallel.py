@@ -1,0 +1,390 @@
+"""Parallel experiment execution engine with on-disk result caching.
+
+Paper-figure grids are dozens of independent ``SimulationConfig`` runs
+(one benchmark x technique x floorplan each).  This module fans them
+over a :class:`~concurrent.futures.ProcessPoolExecutor` and memoizes
+completed runs in a content-addressed cache, so re-running a bench
+grid after an unrelated edit costs near nothing:
+
+* **worker count** comes from ``REPRO_JOBS`` (default
+  ``os.cpu_count()``); ``REPRO_JOBS=1`` is a deterministic inline
+  fallback that never forks,
+* **submission order is preserved** — results come back in the order
+  configs were given, regardless of completion order,
+* a **crashed worker pool is retried once** with the unfinished runs;
+  if it breaks again those runs degrade to inline execution in the
+  parent (an application exception, by contrast, propagates
+  immediately),
+* completed runs are **cached on disk** (``.repro-cache/`` or
+  ``REPRO_CACHE_DIR``) keyed by a stable hash of the frozen config
+  plus a fingerprint of the ``repro`` source tree, so any code or
+  config change invalidates exactly the affected entries.  Disable
+  with ``REPRO_CACHE=0``; manage with ``repro cache info|clear``.
+
+Sanitized runs compose: with ``REPRO_SANITIZE=1`` each worker process
+installs the runtime sanitizer inside its own simulator and reports
+the number of checks performed back to the parent's
+:class:`EngineStats`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Callable, List, Mapping, Optional, Sequence, Union
+
+from ..analysis.sanitize import sanitize_enabled
+from .results import SimulationResult
+from .runner import SimulationConfig, Simulator
+
+
+# ---------------------------------------------------------------------------
+# job-count / cache toggles (environment driven)
+# ---------------------------------------------------------------------------
+
+def default_jobs() -> int:
+    """Worker count: ``REPRO_JOBS`` if set, else ``os.cpu_count()``."""
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError as exc:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {raw!r}") from exc
+    return os.cpu_count() or 1
+
+
+def cache_enabled() -> bool:
+    """Whether ``REPRO_CACHE`` permits on-disk result caching."""
+    return os.environ.get("REPRO_CACHE", "").strip().lower() not in (
+        "0", "false", "no", "off")
+
+
+# ---------------------------------------------------------------------------
+# content-addressed run keys
+# ---------------------------------------------------------------------------
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """SHA-256 over every ``repro`` source file (path + contents).
+
+    Part of every cache key: editing any module invalidates all cached
+    results, which is coarse but can never serve a stale simulation.
+    """
+    digest = hashlib.sha256()
+    root = Path(__file__).resolve().parents[1]
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+def _stable(obj: Any) -> Any:
+    """Recursively convert ``obj`` to a JSON-serializable form whose
+    text rendering is stable across processes and sessions."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return [type(obj).__name__,
+                {f.name: _stable(getattr(obj, f.name))
+                 for f in dataclasses.fields(obj)}]
+    if isinstance(obj, enum.Enum):
+        return [type(obj).__name__, obj.name]
+    if isinstance(obj, Mapping):
+        return {str(key): _stable(value)
+                for key, value in sorted(obj.items(),
+                                         key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_stable(value) for value in obj]
+    if obj is None or isinstance(obj, (str, int, float, bool)):
+        return obj
+    raise TypeError(f"cannot build a stable key from {type(obj).__name__}")
+
+
+def config_key(config: SimulationConfig,
+               fingerprint: Optional[str] = None) -> str:
+    """Content hash identifying one run: config + code version.
+
+    The effective sanitize state is part of the key so a sanitized run
+    is never answered from an unsanitized run's cache entry.
+    """
+    payload = {
+        "config": _stable(config),
+        "code": code_fingerprint() if fingerprint is None else fingerprint,
+        "sanitize": bool(config.sanitize or sanitize_enabled()),
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# on-disk result cache
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Summary of one cache directory."""
+
+    root: str
+    entries: int
+    size_bytes: int
+
+
+class ResultCache:
+    """Pickle store of finished :class:`SimulationResult` objects.
+
+    Entries live at ``<root>/<key[:2]>/<key>.pkl``; writes go through
+    a temp file + :func:`os.replace` so concurrent engines never see a
+    torn entry.  All operations are best-effort: an unreadable entry
+    is a miss, a failed write is skipped.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR") or ".repro-cache"
+        self.root = Path(root)
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        try:
+            with open(self._path(key), "rb") as handle:
+                result = pickle.load(handle)
+        except (OSError, pickle.PickleError, EOFError, AttributeError,
+                ImportError):
+            return None
+        return result if isinstance(result, SimulationResult) else None
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        path = self._path(key)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "wb") as handle:
+                pickle.dump(result, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.glob("??/*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        for bucket in self.root.glob("??"):
+            try:
+                bucket.rmdir()
+            except OSError:
+                pass
+        return removed
+
+    def info(self) -> CacheInfo:
+        entries = 0
+        size = 0
+        if self.root.is_dir():
+            for path in self.root.glob("??/*.pkl"):
+                try:
+                    size += path.stat().st_size
+                    entries += 1
+                except OSError:
+                    pass
+        return CacheInfo(root=str(self.root), entries=entries,
+                         size_bytes=size)
+
+
+# ---------------------------------------------------------------------------
+# worker entry point
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WorkerOutcome:
+    """What one worker sends back besides the result itself."""
+
+    result: SimulationResult
+    sanitized: bool
+    sanitizer_checks: int
+
+
+def _execute_config(config: SimulationConfig) -> WorkerOutcome:
+    """Process-pool entry point: run one simulation to completion.
+
+    Built around :class:`Simulator` (not ``run_simulation``) so the
+    sanitizer's per-run activity — installed inside the worker when
+    ``REPRO_SANITIZE=1`` — can be reported to the parent.
+    """
+    simulator = Simulator(config)
+    result = simulator.run()
+    sanitizer = simulator.sanitizer
+    if sanitizer is None:
+        return WorkerOutcome(result, sanitized=False, sanitizer_checks=0)
+    return WorkerOutcome(result, sanitized=True,
+                         sanitizer_checks=sanitizer.stats.total_checks)
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+
+@dataclass
+class EngineStats:
+    """Cumulative accounting across :meth:`ExperimentEngine.run_many`."""
+
+    total: int = 0
+    cache_hits: int = 0
+    parallel_runs: int = 0
+    inline_runs: int = 0
+    retried: int = 0
+    degraded: int = 0
+    sanitized_runs: int = 0
+    sanitizer_checks: int = 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache_hits / self.total if self.total else 0.0
+
+
+Runner = Callable[[SimulationConfig], WorkerOutcome]
+
+
+class ExperimentEngine:
+    """Runs batches of simulation configs, in parallel when it pays.
+
+    ``jobs`` defaults to :func:`default_jobs`; ``runner`` (a picklable
+    callable returning :class:`WorkerOutcome`) exists for tests that
+    need crashing or instrumented workers.  Pass ``use_cache=False``
+    for always-fresh runs regardless of the environment.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache: Optional[ResultCache] = None,
+                 use_cache: bool = True,
+                 runner: Optional[Runner] = None) -> None:
+        self.jobs = default_jobs() if jobs is None else max(1, jobs)
+        self.cache: Optional[ResultCache] = None
+        if use_cache and cache_enabled():
+            self.cache = cache if cache is not None else ResultCache()
+        self.runner: Runner = runner if runner is not None else _execute_config
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    def run_one(self, config: SimulationConfig) -> SimulationResult:
+        return self.run_many([config])[0]
+
+    def run_many(self, configs: Sequence[SimulationConfig]
+                 ) -> List[SimulationResult]:
+        """Execute every config; results are in submission order."""
+        results: List[Optional[SimulationResult]] = [None] * len(configs)
+        keys: List[Optional[str]] = [None] * len(configs)
+        pending: List[int] = []
+        self.stats.total += len(configs)
+        for i, config in enumerate(configs):
+            if self.cache is not None:
+                key = config_key(config)
+                keys[i] = key
+                cached = self.cache.get(key)
+                if cached is not None:
+                    results[i] = cached
+                    self.stats.cache_hits += 1
+                    continue
+            pending.append(i)
+
+        if self.jobs <= 1 or len(pending) <= 1:
+            for i in pending:
+                results[i] = self._run_inline(configs[i])
+        else:
+            self._run_pool(configs, pending, results)
+
+        if self.cache is not None:
+            for i in pending:
+                key, result = keys[i], results[i]
+                if key is not None and result is not None:
+                    self.cache.put(key, result)
+
+        out: List[SimulationResult] = []
+        for result in results:
+            if result is None:  # pragma: no cover - engine invariant
+                raise RuntimeError("engine produced no result for a run")
+            out.append(result)
+        return out
+
+    # ------------------------------------------------------------------
+    def _note(self, outcome: WorkerOutcome) -> None:
+        if outcome.sanitized:
+            self.stats.sanitized_runs += 1
+            self.stats.sanitizer_checks += outcome.sanitizer_checks
+
+    def _run_inline(self, config: SimulationConfig) -> SimulationResult:
+        outcome = self.runner(config)
+        self._note(outcome)
+        self.stats.inline_runs += 1
+        return outcome.result
+
+    def _run_pool(self, configs: Sequence[SimulationConfig],
+                  pending: Sequence[int],
+                  results: List[Optional[SimulationResult]]) -> None:
+        """Fan ``pending`` over worker pools.
+
+        A broken pool (a worker died without reporting — segfault,
+        ``os._exit``, OOM kill) leaves its unfinished runs to one
+        fresh-pool retry, then to inline execution.  Application
+        exceptions raised by a run propagate immediately.
+        """
+        remaining = list(pending)
+        for attempt in range(2):
+            if not remaining:
+                return
+            if attempt == 1:
+                self.stats.retried += len(remaining)
+            broken = False
+            error: Optional[BaseException] = None
+            try:
+                with ProcessPoolExecutor(
+                        max_workers=min(self.jobs, len(remaining))) as pool:
+                    futures = {pool.submit(self.runner, configs[i]): i
+                               for i in remaining}
+                    for future in wait(futures).done:
+                        exc = future.exception()
+                        if isinstance(exc, BrokenExecutor):
+                            broken = True
+                        elif exc is not None:
+                            error = exc
+                        else:
+                            outcome = future.result()
+                            results[futures[future]] = outcome.result
+                            self._note(outcome)
+                            self.stats.parallel_runs += 1
+                            remaining.remove(futures[future])
+            except BrokenExecutor:  # pragma: no cover - racy submit path
+                broken = True
+            if error is not None:
+                raise error
+            if not broken:
+                return
+        self.stats.degraded += len(remaining)
+        for i in remaining:
+            results[i] = self._run_inline(configs[i])
+
+
+def run_experiments(configs: Sequence[SimulationConfig],
+                    engine: Optional[ExperimentEngine] = None
+                    ) -> List[SimulationResult]:
+    """Run a grid through ``engine`` (or a fresh default engine)."""
+    if engine is None:
+        engine = ExperimentEngine()
+    return engine.run_many(configs)

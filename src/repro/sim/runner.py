@@ -126,9 +126,12 @@ class Simulator:
         self.processor.stats = ProcessorStats()
 
     def _on_sample(self, processor: Processor) -> None:
-        powers = self.accountant.sample(processor.activity_snapshot(),
-                                        self._interval_s)
-        self.thermal.step(powers, self._interval_s)
+        # Vector fast path: the accountant's power vector is aligned
+        # with floorplan.names, which is exactly the thermal model's
+        # die-node order — no per-sample dict is built.
+        powers = self.accountant.sample_powers(
+            processor.activity_snapshot(), self._interval_s)
+        self.thermal.step_vector(powers, self._interval_s)
         self.dtm.on_sample(processor)
 
     def _collect(self) -> SimulationResult:

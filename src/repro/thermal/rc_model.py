@@ -22,7 +22,7 @@ steady-state temperatures are unaffected (G is untouched).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy.linalg import expm
@@ -84,36 +84,60 @@ class ThermalModel:
         self._C = capacitance / acceleration
         self.temps = np.full(n, ambient_k, dtype=float)
 
-        self._dt: Optional[float] = None
-        self._Ad: Optional[np.ndarray] = None
-        self._Bd: Optional[np.ndarray] = None
+        #: (Ad, Bd) update matrices keyed by dt.  Runs that alternate
+        #: between two sensing intervals (e.g. warm-up vs measurement)
+        #: pay the matrix exponential once per distinct dt, not per
+        #: switch.
+        self._ops: Dict[float, Tuple[np.ndarray, np.ndarray]] = {}
+        self._p_buf = np.zeros(n)
 
     # ------------------------------------------------------------------
     # integration
     # ------------------------------------------------------------------
-    def _prepare(self, dt: float) -> None:
-        """Precompute the exact discrete-time update for step ``dt``."""
+    def _prepare(self, dt: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Precompute (and cache) the exact discrete-time update for
+        step ``dt``."""
         a_mat = -self._G / self._C[:, None]
         ad = expm(a_mat * dt)
         # Bd = A^-1 (Ad - I) C^-1 : maps power vectors to temperature.
         n = a_mat.shape[0]
         bd = np.linalg.solve(a_mat, ad - np.eye(n)) / self._C[None, :]
-        self._dt = dt
-        self._Ad = ad
-        self._Bd = bd
+        self._ops[dt] = (ad, bd)
+        return ad, bd
 
     def step(self, powers: Mapping[str, float], dt: float) -> None:
         """Advance the network by ``dt`` seconds with constant
         ``powers`` (watts per block name) over the interval."""
         if dt <= 0:
             raise ValueError("dt must be positive")
-        if self._dt != dt:
-            self._prepare(dt)
+        ops = self._ops.get(dt)
+        ad, bd = ops if ops is not None else self._prepare(dt)
         p = np.zeros(len(self.names))
         for name, watts in powers.items():
             p[self.index[name]] = watts
         p += self._g_ambient * self.ambient_k
-        self.temps = self._Ad @ self.temps + self._Bd @ p
+        self.temps = ad @ self.temps + bd @ p
+
+    def step_vector(self, die_powers: np.ndarray, dt: float) -> None:
+        """Advance by ``dt`` seconds with ``die_powers`` given as a
+        vector aligned with ``floorplan.names`` (the hot path: no dict
+        is built and the sink/ambient term reuses a scratch buffer).
+
+        Numerically identical to :meth:`step` with the equivalent
+        mapping — same power vector, same cached update matrices.
+        """
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if die_powers.shape != (len(self.names) - 1,):
+            raise ValueError(
+                f"expected {len(self.names) - 1} die powers, "
+                f"got shape {die_powers.shape}")
+        ops = self._ops.get(dt)
+        ad, bd = ops if ops is not None else self._prepare(dt)
+        p = self._p_buf
+        p[:-1] = die_powers
+        p[-1] = self._g_ambient[-1] * self.ambient_k
+        self.temps = ad @ self.temps + bd @ p
 
     # ------------------------------------------------------------------
     # state access
@@ -149,11 +173,7 @@ class ThermalModel:
             self.temps[self.index[name]] = temp
 
     def hottest(self) -> str:
-        """Name of the hottest die block."""
-        best_name, best_temp = "", -np.inf
-        for name, i in self.index.items():
-            if name == SINK_NODE:
-                continue
-            if self.temps[i] > best_temp:
-                best_name, best_temp = name, float(self.temps[i])
-        return best_name
+        """Name of the hottest die block (first one on ties, matching
+        a first-wins linear scan).  The sink occupies the last node, so
+        the argmax runs over ``temps[:-1]``."""
+        return self.names[int(np.argmax(self.temps[:-1]))]

@@ -19,7 +19,9 @@ from __future__ import annotations
 import math
 import random
 import zlib
+from bisect import bisect
 from collections import deque
+from itertools import accumulate
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterator, Optional, Tuple
 
@@ -106,6 +108,28 @@ class SyntheticWorkload:
             (zlib.crc32(profile.name.encode()) ^ seed) & 0xFFFFFFFF)
         self._classes = list(profile.mix.keys())
         self._weights = [profile.mix[c] for c in self._classes]
+        # Precomputed inverse-CDF tables for the per-op class draw.
+        # Sampling via bisect over the cumulative weights consumes the
+        # same single rng.random() call as random.choices() and picks
+        # the same class, so streams are bit-identical to the choices()
+        # implementation while skipping its per-call accumulation.
+        self._cum_weights = list(accumulate(self._weights))
+        self._cum_total = self._cum_weights[-1] + 0.0
+        self._hi = len(self._classes) - 1
+        # Hot-loop caches of immutable profile fields, plus the
+        # geometric-sampling log denominator per dependency mean
+        # (log(1 - 1/mean) is deterministic, so hoisting it out of
+        # _pick_source leaves the sampled distances bit-identical).
+        self._independent_frac = profile.independent_frac
+        self._l1_miss = profile.l1_miss
+        self._l2_frac = profile.l2_frac
+        self._mispredict_rate = profile.mispredict_rate
+        self._calm_log_denom = (
+            math.log(1.0 - 1.0 / profile.dep_mean)
+            if profile.dep_mean > 1.0 else 0.0)
+        self._burst_log_denom = (
+            math.log(1.0 - 1.0 / profile.burst_dep_mean)
+            if profile.burst_dep_mean > 1.0 else 0.0)
         self._recent_int: Deque[int] = deque(maxlen=64)
         self._recent_fp: Deque[int] = deque(maxlen=64)
         self._next_int_dst = 1
@@ -124,9 +148,10 @@ class SyntheticWorkload:
     # ------------------------------------------------------------------
     def generate(self) -> MicroOp:
         """Produce the next micro-op."""
-        profile, rng = self.profile, self._rng
         self._advance_phase()
-        opclass = rng.choices(self._classes, self._weights)[0]
+        opclass = self._classes[bisect(
+            self._cum_weights, self._rng.random() * self._cum_total,
+            0, self._hi)]
         op = self._build(opclass)
         self._seq += 1
         return op
@@ -166,17 +191,23 @@ class SyntheticWorkload:
         return self.profile.dep_mean
 
     def _pick_source(self, recent: Deque[int]) -> Optional[int]:
-        if self._rng.random() < self.profile.independent_frac:
+        rng = self._rng
+        if rng.random() < self._independent_frac:
             return None
         if not recent:
             return 1
-        mean = self._dep_mean()
+        if self._in_burst:
+            mean = self.profile.burst_dep_mean
+            log_denom = self._burst_log_denom
+        else:
+            mean = self.profile.dep_mean
+            log_denom = self._calm_log_denom
         # Geometric distance: P(d) ~ (1-p)^(d-1) p with mean 1/p,
         # sampled in closed form via inversion.
         if mean <= 1.0:
             return recent[-1]
-        u = self._rng.random()
-        distance = 1 + int(math.log(u) / math.log(1.0 - 1.0 / mean))
+        u = rng.random()
+        distance = 1 + int(math.log(u) / log_denom)
         if distance > len(recent):
             distance = len(recent)
         return recent[-distance]
@@ -195,10 +226,10 @@ class SyntheticWorkload:
     def _address(self) -> int:
         rng = self._rng
         roll = rng.random()
-        if roll >= self.profile.l1_miss:
+        if roll >= self._l1_miss:
             offset = rng.randrange(_HOT_POOL_BYTES // _LINE) * _LINE
             return offset
-        if rng.random() >= self.profile.l2_frac:
+        if rng.random() >= self._l2_frac:
             offset = rng.randrange(_WARM_POOL_BYTES // _LINE) * _LINE
             return _HOT_POOL_BYTES + offset
         self._stream_addr += _LINE  # never revisited: guaranteed miss
@@ -227,7 +258,7 @@ class SyntheticWorkload:
         if opclass is OpClass.BRANCH:
             src1 = self._pick_source(self._recent_int)
             taken = rng.random() < 0.6
-            wrong = rng.random() < self.profile.mispredict_rate
+            wrong = rng.random() < self._mispredict_rate
             return MicroOp(seq, opclass, src1=src1, taken=taken,
                            mispredicted=wrong, pc=pc)
         if opclass in (OpClass.FP_ADD, OpClass.FP_MUL):

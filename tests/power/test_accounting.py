@@ -80,3 +80,36 @@ class TestPowerAccountant:
         powers = acc.typical_powers(0.5)
         leak = acc.leakage_powers()
         assert all(powers[n] > leak[n] for n in powers)
+
+
+class TestVectorPath:
+    def test_sample_powers_matches_dict(self):
+        """The vector fast path and the dict view agree element for
+        element, in floorplan.names order."""
+        acc, p = accountant_and_processor()
+        acc2, _ = accountant_and_processor()
+        snap0 = p.activity_snapshot()
+        acc.reset(snap0)
+        acc2.reset(snap0)
+        p.run(1000)
+        snap1 = p.activity_snapshot()
+        vector = acc.sample_powers(snap1, INTERVAL_S)
+        powers = acc2.sample(snap1, INTERVAL_S)
+        assert list(vector) == [powers[name]
+                                for name in acc.floorplan.names]
+
+    def test_energy_totals_agree_between_paths(self):
+        acc, p = accountant_and_processor()
+        acc.reset(p.activity_snapshot())
+        p.run(2000)
+        acc.sample_powers(p.activity_snapshot(), INTERVAL_S)
+        assert acc.total_energy_j == pytest.approx(
+            sum(acc.block_energy_j.values()), rel=1e-9)
+
+    def test_leakage_vector_cached(self):
+        """leakage is constant, so the cached vector matches the dict
+        recomputation exactly."""
+        acc, _ = accountant_and_processor()
+        leak = acc.leakage_powers()
+        assert list(acc._leak_vec) == [leak[name]
+                                       for name in acc.floorplan.names]

@@ -155,3 +155,56 @@ def test_superposition(extra):
     doubled = model.steady_state(powers)
     assert (doubled["Dcache"] - base["Dcache"]) / (2 * extra) == \
         pytest.approx(rise_per_watt, rel=1e-6)
+
+
+class TestStepVector:
+    def test_matches_dict_step(self):
+        """The vector fast path advances the network exactly like the
+        dict interface fed the same powers."""
+        import numpy as np
+
+        by_dict = make_model()
+        by_vector = make_model()
+        names = by_dict.floorplan.names
+        powers = {name: 0.3 + 0.01 * i for i, name in enumerate(names)}
+        vector = np.array([powers[name] for name in names])
+        for _ in range(5):
+            by_dict.step(powers, 1e-4)
+            by_vector.step_vector(vector, 1e-4)
+        assert np.array_equal(by_dict.temps, by_vector.temps)
+
+    def test_rejects_wrong_length(self):
+        import numpy as np
+
+        model = make_model()
+        with pytest.raises(ValueError):
+            model.step_vector(np.zeros(3), 1e-4)
+
+    def test_rejects_nonpositive_dt(self):
+        import numpy as np
+
+        model = make_model()
+        n_die = len(model.floorplan.names)
+        with pytest.raises(ValueError):
+            model.step_vector(np.zeros(n_die), 0.0)
+
+
+class TestUpdateMatrixCache:
+    def test_one_entry_per_distinct_dt(self):
+        """Alternating dt values must not recompute the matrix
+        exponential: each distinct dt gets one cached (Ad, Bd)."""
+        model = make_model()
+        powers = uniform_powers(model, 0.5)
+        model.step(powers, 1e-4)
+        model.step(powers, 2e-4)
+        model.step(powers, 1e-4)
+        model.step(powers, 2e-4)
+        assert len(model._ops) == 2
+
+    def test_cache_shared_with_vector_path(self):
+        import numpy as np
+
+        model = make_model()
+        model.step(uniform_powers(model, 0.5), 1e-4)
+        model.step_vector(np.zeros(len(model.floorplan.names)), 1e-4)
+        assert len(model._ops) == 1

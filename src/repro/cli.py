@@ -11,7 +11,9 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
+import pstats
 import sys
 import tempfile
 import time
@@ -21,10 +23,11 @@ from .analysis import lint as analysis_lint
 from .core.mapping import MappingKind
 from .core.policies import (ALUPolicy, IssueQueuePolicy, RegFilePolicy,
                             TechniqueConfig)
+from .sim.checkpoint import CheckpointStore
 from .sim.experiments import (alu_experiment, issue_queue_experiment,
                               regfile_experiment)
 from .sim.parallel import ExperimentEngine, ResultCache, default_jobs
-from .sim.runner import SimulationConfig, run_simulation
+from .sim.runner import SimulationConfig, Simulator, run_simulation
 from .thermal.floorplan import FloorplanVariant
 from .workloads.spec2000 import BENCHMARK_NAMES, PROFILES
 
@@ -107,14 +110,46 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache()
+    checkpoints = CheckpointStore(cache.root / "checkpoints")
     if args.action == "clear":
+        if args.checkpoints:
+            removed = checkpoints.clear()
+            print(f"removed {removed} checkpoint(s) from "
+                  f"{checkpoints.root}")
+            return 0
         removed = cache.clear()
-        print(f"removed {removed} cached result(s) from {cache.root}")
+        ckpt_removed = checkpoints.clear()
+        print(f"removed {removed} cached result(s) and {ckpt_removed} "
+              f"checkpoint(s) from {cache.root}")
         return 0
     info = cache.info()
-    print(f"cache root: {info.root}")
-    print(f"entries:    {info.entries}")
-    print(f"size:       {info.size_bytes / 1024:.1f} KiB")
+    ckpt = checkpoints.info()
+    print(f"cache root:  {info.root}")
+    print(f"results:     {info.entries} entries, "
+          f"{info.size_bytes / 1024:.1f} KiB")
+    print(f"checkpoints: {ckpt.entries} entries, "
+          f"{ckpt.size_bytes / 1024:.1f} KiB")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one simulation under cProfile and print hot spots."""
+    config = SimulationConfig(
+        benchmark=args.benchmark,
+        variant=FloorplanVariant(args.variant),
+        max_cycles=args.cycles,
+        warmup_cycles=args.warmup,
+        seed=args.seed)
+    simulator = Simulator(config)
+    profiler = cProfile.Profile()
+    result = profiler.runcall(simulator.run)
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(args.top)
+    print(f"IPC {result.ipc:.3f} over {result.cycles} measured cycles")
+    total = sum(simulator.stage_times.values()) or 1.0
+    print("stage wall-clock breakdown:")
+    for name, seconds in sorted(simulator.stage_times.items()):
+        print(f"  {name:10s} {seconds:8.3f}s ({seconds / total:5.1%})")
     return 0
 
 
@@ -158,6 +193,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "cycles_per_s": single_cycles / single_wall,
     }
 
+    if args.compare_serial and jobs <= 1:
+        print("warning: --compare-serial with jobs=1 compares the "
+              "engine against itself; parallel_speedup will be null")
+
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         for figure in figures:
             runner = _EXPERIMENTS[figure]
@@ -169,6 +208,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             cold_wall = time.perf_counter() - start
             runs = engine.stats.total
             total_cycles = runs * args.cycles
+            # Snapshot cold-run accounting before the warm rerun adds
+            # cache hits on top of it.
+            stage_seconds = engine.stats.stage_seconds()
+            restores = engine.stats.checkpoint_restores
+            captures = engine.stats.checkpoint_captures
 
             start = time.perf_counter()
             runner(benchmarks=benchmarks, max_cycles=args.cycles,
@@ -178,27 +222,40 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             grid: Dict[str, Any] = {
                 "figure": figure,
                 "runs": runs,
+                "jobs": engine.jobs,
                 "total_cycles": total_cycles,
                 "wall_s": cold_wall,
                 "cycles_per_s": total_cycles / cold_wall,
                 "warm_wall_s": warm_wall,
                 "cache_hit_rate": engine.stats.cache_hit_rate,
+                "stage_seconds": stage_seconds,
+                "checkpoint_restores": restores,
+                "checkpoint_captures": captures,
             }
             if args.compare_serial:
-                serial = ExperimentEngine(jobs=1, use_cache=False)
-                start = time.perf_counter()
-                runner(benchmarks=benchmarks, max_cycles=args.cycles,
-                       seed=args.seed, engine=serial)
-                serial_wall = time.perf_counter() - start
-                grid["serial_wall_s"] = serial_wall
-                grid["parallel_speedup"] = serial_wall / cold_wall
+                if jobs <= 1:
+                    # jobs=1 already runs inline; "serial vs parallel"
+                    # would time the same path twice and report noise
+                    # (the committed 0.853x artifact of the old code).
+                    grid["serial_wall_s"] = None
+                    grid["parallel_speedup"] = None
+                else:
+                    serial = ExperimentEngine(jobs=1, use_cache=False,
+                                              use_checkpoints=False)
+                    start = time.perf_counter()
+                    runner(benchmarks=benchmarks, max_cycles=args.cycles,
+                           seed=args.seed, engine=serial)
+                    serial_wall = time.perf_counter() - start
+                    grid["serial_wall_s"] = serial_wall
+                    grid["parallel_speedup"] = serial_wall / cold_wall
             report["grids"].append(grid)
             line = (f"figure {figure}: {runs} runs, "
                     f"{cold_wall:.2f}s cold "
                     f"({grid['cycles_per_s']:,.0f} cycles/s), "
                     f"{warm_wall:.3f}s cached "
-                    f"(hit rate {grid['cache_hit_rate']:.0%})")
-            if args.compare_serial:
+                    f"(hit rate {grid['cache_hit_rate']:.0%}), "
+                    f"{restores} ckpt restore(s)")
+            if args.compare_serial and grid.get("parallel_speedup"):
                 line += (f", {grid['serial_wall_s']:.2f}s serial "
                          f"({grid['parallel_speedup']:.2f}x)")
             print(line)
@@ -273,9 +330,28 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.set_defaults(func=_cmd_bench)
 
     cache_p = sub.add_parser(
-        "cache", help="inspect or clear the on-disk result cache")
+        "cache", help="inspect or clear the on-disk result and "
+                      "checkpoint caches")
     cache_p.add_argument("action", choices=("info", "clear"))
+    cache_p.add_argument("--checkpoints", action="store_true",
+                         help="clear only warm-state checkpoints, "
+                              "keeping cached results")
     cache_p.set_defaults(func=_cmd_cache)
+
+    profile_p = sub.add_parser(
+        "profile", help="profile one simulation run (cProfile) and "
+                        "print the hottest functions plus the "
+                        "per-stage wall-clock breakdown")
+    profile_p.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    profile_p.add_argument("--variant", default="base",
+                           choices=[v.value for v in FloorplanVariant])
+    profile_p.add_argument("--cycles", type=int, default=60_000)
+    profile_p.add_argument("--warmup", type=int, default=12_000)
+    profile_p.add_argument("--seed", type=int, default=1)
+    profile_p.add_argument("--top", type=int, default=25,
+                           help="functions to print, by cumulative "
+                                "time (default: 25)")
+    profile_p.set_defaults(func=_cmd_profile)
 
     lint_p = sub.add_parser(
         "lint", help="run repro-lint static analysis (REP001-REP005)",

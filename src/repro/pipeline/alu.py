@@ -15,9 +15,12 @@ keeps draining in-flight work.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from typing import Any, Dict, List, Optional, Set
 
 from .isa import DEFAULT_LATENCY, MicroOp, OpClass
+
+#: Sentinel finish cycle meaning "nothing in flight".
+_NEVER = 2 ** 62
 
 #: Op classes the integer ALUs execute.
 INT_OPCLASSES: Set[OpClass] = {
@@ -60,6 +63,14 @@ class FunctionalUnit:
         self.counters = ALUCounters()
         self._pipeline: List[_InFlight] = []
         self._blocked_until = -1
+        # Earliest finish cycle in flight; lets writeback skip the
+        # unit without scanning the pipeline.  Derived state: always
+        # recomputed from ``_pipeline``, never serialized.
+        self._next_finish = _NEVER
+        # One-element busy-unit tally shared by every unit of a
+        # processor (attached after construction); lets the per-cycle
+        # busy accounting skip the unit scan when nothing is off.
+        self._bank_busy: Optional[List[int]] = None
 
     def can_execute(self, opclass: OpClass) -> bool:
         return opclass in self.opclasses
@@ -86,15 +97,21 @@ class FunctionalUnit:
             self._blocked_until = now + base
         finish = now + base + extra_latency
         self._pipeline.append(_InFlight(op, rob_index, finish))
+        if finish < self._next_finish:
+            self._next_finish = finish
         self.counters.ops += 1
         return finish
 
     def drain(self, now: int) -> List[_InFlight]:
         """Pop ops finishing at ``now`` (writeback stage)."""
+        if now < self._next_finish:
+            return []
         done = [w for w in self._pipeline if w.finish_cycle <= now]
         if done:
             self._pipeline = [w for w in self._pipeline
                               if w.finish_cycle > now]
+            self._next_finish = min(
+                (w.finish_cycle for w in self._pipeline), default=_NEVER)
         return done
 
     def in_flight(self) -> int:
@@ -102,9 +119,29 @@ class FunctionalUnit:
 
     def set_busy(self, value: bool) -> None:
         """Fine-grain turnoff: mark the unit busy so select skips it."""
-        if value and not self.busy:
+        if value == self.busy:
+            return
+        if value:
             self.counters.turnoff_events += 1
         self.busy = value
+        if self._bank_busy is not None:
+            self._bank_busy[0] += 1 if value else -1
+
+    # ------------------------------------------------------------------
+    # warm-state checkpointing (repro.sim.checkpoint)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {"busy": self.busy, "counters": self.counters,
+                "pipeline": self._pipeline,
+                "blocked_until": self._blocked_until}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self.busy = state["busy"]
+        self.counters = state["counters"]
+        self._pipeline = list(state["pipeline"])
+        self._blocked_until = state["blocked_until"]
+        self._next_finish = min(
+            (w.finish_cycle for w in self._pipeline), default=_NEVER)
 
 
 def make_int_alus(count: int) -> List[FunctionalUnit]:

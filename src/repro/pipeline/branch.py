@@ -14,6 +14,7 @@ Two predictors are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Dict
 
 from .isa import MicroOp, OpClass
 
@@ -26,6 +27,13 @@ class BranchPredictor:
 
     @property
     def stats(self) -> "PredictorStats":
+        raise NotImplementedError
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Mutable predictor state for warm-state checkpointing."""
+        raise NotImplementedError
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
         raise NotImplementedError
 
 
@@ -71,6 +79,15 @@ class GSharePredictor(BranchPredictor):
     def stats(self) -> PredictorStats:
         return self._stats
 
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {"history": self._history, "table": self._table,
+                "stats": self._stats}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self._history = state["history"]
+        self._table = list(state["table"])
+        self._stats = state["stats"]
+
 
 class TracePredictor(BranchPredictor):
     """Report the mispredict outcome already stamped on the micro-op."""
@@ -88,3 +105,9 @@ class TracePredictor(BranchPredictor):
     @property
     def stats(self) -> PredictorStats:
         return self._stats
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {"stats": self._stats}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self._stats = state["stats"]

@@ -11,7 +11,7 @@ backend adds to a load's execution latency.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from .config import CacheConfig, ProcessorConfig
 
@@ -74,6 +74,16 @@ class Cache:
     def reset_stats(self) -> None:
         self.stats = CacheStats()
 
+    # ------------------------------------------------------------------
+    # warm-state checkpointing (repro.sim.checkpoint)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {"sets": self._sets, "stats": self.stats}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self._sets = [list(ways) for ways in state["sets"]]
+        self.stats = state["stats"]
+
 
 class MemoryHierarchy:
     """L1D + unified L2 + fixed-latency memory.
@@ -118,3 +128,17 @@ class MemoryHierarchy:
             self.l1d.access(addr)
         self.l1d.reset_stats()
         self.l2.reset_stats()
+
+    # ------------------------------------------------------------------
+    # warm-state checkpointing (repro.sim.checkpoint)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {"l1d": self.l1d.snapshot_state(),
+                "l2": self.l2.snapshot_state(),
+                "loads": self.loads, "stores": self.stores}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self.l1d.restore_state(state["l1d"])
+        self.l2.restore_state(state["l2"])
+        self.loads = state["loads"]
+        self.stores = state["stores"]

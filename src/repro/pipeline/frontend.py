@@ -12,7 +12,7 @@ backend (documented deviation in DESIGN.md).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterator, List, Optional
+from typing import Any, Deque, Dict, Iterator, List, Optional
 
 from .branch import BranchPredictor
 from .isa import MicroOp, OpClass
@@ -54,15 +54,22 @@ class FetchUnit:
             self._resume_at = None
         if self._blocking_branch is not None:
             return
-        while (len(self.buffer) < self.buffer_capacity
-               and self._count_this_cycle < self.fetch_width):
-            op = self._next_op()
-            if op is None:
+        buffer = self.buffer
+        capacity = self.buffer_capacity
+        width = self.fetch_width
+        trace = self.trace
+        branch = OpClass.BRANCH
+        while (len(buffer) < capacity
+               and self._count_this_cycle < width):
+            try:
+                op = next(trace)
+            except StopIteration:
+                self.exhausted = True
                 return
-            self.buffer.append(op)
+            buffer.append(op)
             self.fetched += 1
             self._count_this_cycle += 1
-            if op.opclass is OpClass.BRANCH:
+            if op.opclass is branch:
                 if self.predictor.mispredicted(op, taken=op.taken):
                     op.mispredicted = True
                     self._blocking_branch = op.seq
@@ -72,19 +79,14 @@ class FetchUnit:
     def begin_cycle(self) -> None:
         self._count_this_cycle = 0
 
-    def _next_op(self) -> Optional[MicroOp]:
-        try:
-            return next(self.trace)
-        except StopIteration:
-            self.exhausted = True
-            return None
-
     def pop_ready(self, max_count: int) -> List[MicroOp]:
         """Hand up to ``max_count`` buffered ops to dispatch."""
-        out: List[MicroOp] = []
-        while self.buffer and len(out) < max_count:
-            out.append(self.buffer.popleft())
-        return out
+        buffer = self.buffer
+        count = len(buffer)
+        if count > max_count:
+            count = max_count
+        popleft = buffer.popleft
+        return [popleft() for _ in range(count)]
 
     def unpop(self, ops: List[MicroOp]) -> None:
         """Return ops dispatch could not place (structural stall)."""
@@ -101,3 +103,33 @@ class FetchUnit:
     def drained(self) -> bool:
         """No more ops will ever come out of this front end."""
         return self.exhausted and not self.buffer
+
+    # ------------------------------------------------------------------
+    # warm-state checkpointing (repro.sim.checkpoint)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Live references to this unit's mutable state; the caller
+        serializes them before the pipeline advances.  The trace
+        iterator itself is not captured — the checkpoint records the
+        stream position (``fetched``) and the restore path repositions
+        a replayable trace there."""
+        return {
+            "buffer": list(self.buffer),
+            "fetched": self.fetched,
+            "exhausted": self.exhausted,
+            "blocking_branch": self._blocking_branch,
+            "resume_at": self._resume_at,
+            "count_this_cycle": self._count_this_cycle,
+            "predictor": self.predictor.snapshot_state(),
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Adopt a deserialized :meth:`snapshot_state` payload in
+        place (the trace iterator is left untouched)."""
+        self.buffer = deque(state["buffer"])
+        self.fetched = state["fetched"]
+        self.exhausted = state["exhausted"]
+        self._blocking_branch = state["blocking_branch"]
+        self._resume_at = state["resume_at"]
+        self._count_this_cycle = state["count_this_cycle"]
+        self.predictor.restore_state(state["predictor"])

@@ -38,6 +38,13 @@ class OpClass(enum.Enum):
     def is_mem(self) -> bool:
         return self in (OpClass.LOAD, OpClass.STORE)
 
+    # Enum hashes by member name (a string hash per lookup), and the
+    # pipeline performs hundreds of thousands of latency-table and
+    # opclass-set lookups per run.  Members are singletons (pickling
+    # resolves by name to the same object), so identity hashing is
+    # observably equivalent and much cheaper.
+    __hash__ = object.__hash__
+
 
 #: Execution latency in cycles for each op class (pipelined unless noted).
 DEFAULT_LATENCY: Dict[OpClass, int] = {

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from .isa import MicroOp
 
@@ -125,6 +125,12 @@ class CompactingIssueQueue:
         self._holes = 0
         #: entries granted issue but not yet drained from the queue.
         self._pending_removal: List[IQEntry] = []
+        #: tag -> entries still waiting on it.  A broadcast wakes only
+        #: the entries registered for its tag instead of scanning every
+        #: slot; each registration receives exactly one broadcast (a
+        #: physical tag has one producer per allocation, and rename
+        #: cannot recycle the tag before that producer writes back).
+        self._waiters: Dict[int, List[IQEntry]] = {}
 
     # ------------------------------------------------------------------
     # position mapping
@@ -200,6 +206,14 @@ class CompactingIssueQueue:
         self.slots[self._order[self._top]] = entry
         self._top += 1
         self.counters.inserts += 1
+        if entry.waiting_tags:
+            waiters = self._waiters
+            for tag in entry.waiting_tags:
+                bucket = waiters.get(tag)
+                if bucket is None:
+                    waiters[tag] = [entry]
+                else:
+                    bucket.append(entry)
         return entry
 
     # ------------------------------------------------------------------
@@ -208,13 +222,16 @@ class CompactingIssueQueue:
     def wakeup(self, tag: int) -> None:
         """Broadcast a completing physical-register tag to all entries.
 
-        The broadcast reaches every occupied slot regardless of
-        priority, so this scans physical slots directly (cheaper than
-        walking the logical order indirection).
+        The hardware broadcast reaches every occupied slot; here the
+        ``_waiters`` index delivers the identical state change (clear
+        ``tag`` from exactly the entries waiting on it) without the
+        per-slot scan.  The broadcast *count* — what the power model
+        charges — is per call, same as before.
         """
         self.counters.broadcasts += 1
-        for entry in self.slots:
-            if entry is not None and entry.waiting_tags:
+        entries = self._waiters.pop(tag, None)
+        if entries is not None:
+            for entry in entries:
                 entry.waiting_tags.discard(tag)
 
     def request_vector(self) -> List[bool]:
@@ -261,8 +278,9 @@ class CompactingIssueQueue:
         per-cycle gating charge applies from the issue cycle onward.
         """
         self._now += 1
-        self.counters.cycles += 1
-        self.counters.occupancy_sum += self._top - self._holes
+        counters = self.counters
+        counters.cycles += 1
+        counters.occupancy_sum += self._top - self._holes
         if self._holes == 0 and not self._pending_removal:
             return  # fully compacted, nothing marked invalid: all gated
         self._compact()
@@ -273,6 +291,24 @@ class CompactingIssueQueue:
         order, slots = self._order, self.slots
         counters = self.counters
         counter_evals = counters.counter_evals
+        pending = self._pending_removal
+        if (self._holes == 0 and pending
+                and now - pending[0].issued_at < window):
+            # Dense queue and nothing expires this cycle (``pending``
+            # is in issue order, so its head is the oldest): no entry
+            # can move and the slot arrays stay as they are.  Only the
+            # gating charges apply — every entry above an
+            # invalid-marked (issued) slot evaluates its counter
+            # stages (rules 1 and 2).
+            mid = self.mid
+            marked_below = 0
+            for logical in range(self._top):
+                src_phys = order[logical]
+                if marked_below:
+                    counter_evals[0 if src_phys < mid else 1] += 1
+                if slots[src_phys].issued_at is not None:
+                    marked_below += 1
+            return
         compaction_moves = counters.compaction_moves
         mux_selects = counters.mux_selects
         compact_width = self.compact_width
@@ -347,6 +383,7 @@ class CompactingIssueQueue:
         """Drop all entries (pipeline squash)."""
         self.slots = [None] * self.n_entries
         self._pending_removal = []
+        self._waiters = {}
         self._top = 0
         self._holes = 0
 
@@ -354,3 +391,39 @@ class CompactingIssueQueue:
         """Number of occupied slots in each physical half."""
         low = sum(1 for p in range(self.mid) if self.slots[p] is not None)
         return low, len(self) - low
+
+    # ------------------------------------------------------------------
+    # warm-state checkpointing (repro.sim.checkpoint)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Live references to the queue's mutable state; the caller
+        serializes them (entry identity with the ROB and functional
+        units is preserved by serializing the whole processor state in
+        one pass)."""
+        return {
+            "slots": self.slots,
+            "counters": self.counters,
+            "mode": self.mode,
+            "now": self._now,
+            "top": self._top,
+            "holes": self._holes,
+            "pending_removal": self._pending_removal,
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Adopt a deserialized :meth:`snapshot_state` payload in
+        place; the wakeup waiters index is rebuilt from the entries."""
+        self.slots = list(state["slots"])
+        self.counters = state["counters"]
+        self.mode = state["mode"]
+        self._now = state["now"]
+        self._rebuild_order()
+        self._top = state["top"]
+        self._holes = state["holes"]
+        self._pending_removal = list(state["pending_removal"])
+        waiters: Dict[int, List[IQEntry]] = {}
+        for entry in self.slots:
+            if entry is not None:
+                for tag in entry.waiting_tags:
+                    waiters.setdefault(tag, []).append(entry)
+        self._waiters = waiters

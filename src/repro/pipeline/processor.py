@@ -18,10 +18,10 @@ temperature sensors.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set
 
 from ..core.mapping import PortMapping, priority_mapping
-from .alu import (FP_ADD_OPCLASSES, FP_MUL_OPCLASSES, INT_OPCLASSES,
+from .alu import (FP_ADD_OPCLASSES, FP_MUL_OPCLASSES,
                   FunctionalUnit, make_fp_adders, make_fp_multiplier,
                   make_int_alus)
 from .branch import BranchPredictor, TracePredictor
@@ -120,7 +120,16 @@ class Processor:
         self.fp_mul_select = SelectNetwork(cfg.fp_queue_entries, 1)
         self.regfile = RegisterFileBank(self.mapping)
         self._all_units = [*self.int_alus, *self.fp_adders, self.fp_mul]
+        #: Count of currently turned-off units, maintained by
+        #: ``FunctionalUnit.set_busy`` — when zero (the common case),
+        #: the per-cycle busy accounting skips the unit scan.
+        self._busy_count = [0]
+        for unit in self._all_units:
+            unit._bank_busy = self._busy_count
         self.fp_reg_accesses = 0
+        # Per-cycle hot-path copies of immutable config fields.
+        self._issue_width = cfg.issue_width
+        self._commit_width = cfg.commit_width
 
     # ------------------------------------------------------------------
     # DTM mechanism hooks
@@ -185,9 +194,10 @@ class Processor:
             return
         self._commit()
         self._writeback()
-        for unit in self._all_units:
-            if unit.busy:
-                unit.counters.busy_cycles += 1
+        if self._busy_count[0]:
+            for unit in self._all_units:
+                if unit.busy:
+                    unit.counters.busy_cycles += 1
         if now < self.throttled_until and now % 2:
             stats.throttled_cycles += 1
             return  # gated cycle: in-flight work drained, nothing new
@@ -195,8 +205,9 @@ class Processor:
         self.int_iq.tick()
         self.fp_iq.tick()
         self._dispatch()
-        self.fetch.begin_cycle()
-        self.fetch.fetch_cycle(self.now)
+        fetch = self.fetch
+        fetch.begin_cycle()
+        fetch.fetch_cycle(now)
 
     def run(self, max_cycles: int,
             on_sample=None, sample_interval: int = 0) -> ProcessorStats:
@@ -205,12 +216,22 @@ class Processor:
         ``on_sample(processor)`` fires every ``sample_interval`` cycles
         (the thermal sensing hook).
         """
+        fetch = self.fetch
+        rob = self.rob
+        sampling = bool(sample_interval) and on_sample is not None
+        # Countdown to the next sample: ``step`` advances ``now`` by
+        # exactly one, so this fires on the same cycles as
+        # ``now % sample_interval == 0`` without a modulo per cycle.
+        countdown = (sample_interval - self.now % sample_interval
+                     if sampling else 0)
         for _ in range(max_cycles):
             self.step()
-            if (sample_interval and on_sample is not None
-                    and self.now % sample_interval == 0):
-                on_sample(self)
-            if self.finished:
+            if sampling:
+                countdown -= 1
+                if not countdown:
+                    on_sample(self)
+                    countdown = sample_interval
+            if fetch.drained and len(rob) == 0:
                 break
         return self.stats
 
@@ -222,23 +243,28 @@ class Processor:
     # stages
     # ------------------------------------------------------------------
     def _commit(self) -> None:
-        n = self.rob.ready_count(self.config.commit_width)
+        n = self.rob.ready_count(self._commit_width)
         if not n:
             return
+        rename = self.rename
+        lsq = self.lsq
         for entry in self.rob.retire(n):
             op = entry.op
-            if op.opclass is OpClass.STORE and op.mem_addr is not None:
-                self.memory.store(op.mem_addr)
-            if LoadStoreQueue.needs_entry(op):
-                self.lsq.release()
-            self.rename.release(entry.freed_tag)
-            self.stats.committed += 1
+            opclass = op.opclass
+            if opclass is OpClass.STORE:
+                if op.mem_addr is not None:
+                    self.memory.store(op.mem_addr)
+                lsq.release()
+            elif opclass is OpClass.LOAD:
+                lsq.release()
+            rename.release(entry.freed_tag)
+        self.stats.committed += n
 
     def _writeback(self) -> None:
         now = self.now
         rob = self.rob
         for unit in self._all_units:
-            if not unit._pipeline:
+            if now < unit._next_finish:
                 continue
             for done in unit.drain(now):
                 op = done.op
@@ -257,26 +283,29 @@ class Processor:
                         self.regfile.write()
 
     def _issue(self) -> None:
-        budget = self.config.issue_width
-        if len(self.int_iq):
+        budget = self._issue_width
+        int_iq, fp_iq = self.int_iq, self.fp_iq
+        # Occupancy checks on the queues' own fields (== len(q) != 0)
+        # keep two dunder calls off the per-cycle path.
+        if int_iq._top != int_iq._holes:
             budget -= self._issue_int(budget)
-        if budget > 0 and len(self.fp_iq):
+        if budget > 0 and fp_iq._top != fp_iq._holes:
             self._issue_fp(budget)
 
     def _issue_int(self, budget: int) -> int:
-        busy = []
         now = self.now
         blocked = self.regfile.blocked_alus()
         if blocked:
-            for i, alu in enumerate(self.int_alus):
-                busy.append(alu.busy or i in blocked
-                            or now < alu._blocked_until)
+            busy = [alu.busy or i in blocked or now < alu._blocked_until
+                    for i, alu in enumerate(self.int_alus)]
         else:
-            for alu in self.int_alus:
-                busy.append(alu.busy or now < alu._blocked_until)
+            busy = [alu.busy or now < alu._blocked_until
+                    for alu in self.int_alus]
+        # No ``eligible`` filter: dispatch routes every FP op to the FP
+        # queue, so each int-queue entry is INT_OPCLASSES by
+        # construction and the per-slot predicate would always pass.
         grants = self.int_select.arbitrate(
-            self.int_iq, busy,
-            eligible=self._int_slot_eligible, limit=budget)
+            self.int_iq, busy, limit=budget)
         issued = 0
         for alu_index, phys in enumerate(grants):
             if phys is None:
@@ -286,17 +315,14 @@ class Processor:
             op = entry.op
             if op.opclass is OpClass.LOAD and op.mem_addr is not None:
                 extra = self.memory.load_latency(op.mem_addr)
-            self.regfile.read_for_issue(alu_index, len(op.sources()))
+            n_operands = ((op.src1 is not None) + (op.src2 is not None))
+            self.regfile.read_for_issue(alu_index, n_operands)
             self.int_alus[alu_index].start(op, entry.rob_index, self.now,
                                            extra_latency=extra)
             self.rob.get(entry.rob_index).issued = True
             self.stats.issued += 1
             issued += 1
         return issued
-
-    def _int_slot_eligible(self, phys: int) -> bool:
-        entry = self.int_iq.slots[phys]
-        return entry is not None and entry.op.opclass in INT_OPCLASSES
 
     def _issue_fp(self, budget: int) -> int:
         issued = 0
@@ -310,8 +336,10 @@ class Processor:
             if phys is None:
                 continue
             entry = self.fp_iq.grant(phys)
-            self.fp_reg_accesses += len(entry.op.sources())
-            self.fp_adders[unit_index].start(entry.op, entry.rob_index,
+            op = entry.op
+            self.fp_reg_accesses += ((op.src1 is not None)
+                                     + (op.src2 is not None))
+            self.fp_adders[unit_index].start(op, entry.rob_index,
                                              self.now)
             self.rob.get(entry.rob_index).issued = True
             self.stats.issued += 1
@@ -325,8 +353,10 @@ class Processor:
                     p, FP_MUL_OPCLASSES))
             if grants[0] is not None:
                 entry = self.fp_iq.grant(grants[0])
-                self.fp_reg_accesses += len(entry.op.sources())
-                self.fp_mul.start(entry.op, entry.rob_index, self.now)
+                op = entry.op
+                self.fp_reg_accesses += ((op.src1 is not None)
+                                         + (op.src2 is not None))
+                self.fp_mul.start(op, entry.rob_index, self.now)
                 self.rob.get(entry.rob_index).issued = True
                 self.stats.issued += 1
                 issued += 1
@@ -337,34 +367,99 @@ class Processor:
         return entry is not None and entry.op.opclass in opclasses
 
     def _dispatch(self) -> None:
-        width = self.config.issue_width
-        ops = self.fetch.pop_ready(width)
-        not_placed: List[MicroOp] = []
+        ops = self.fetch.pop_ready(self._issue_width)
+        if not ops:
+            return
+        rob = self.rob
+        rename = self.rename
+        lsq = self.lsq
+        int_iq, fp_iq = self.int_iq, self.fp_iq
         for i, op in enumerate(ops):
-            if not self._try_dispatch(op):
-                not_placed = ops[i:]
-                break
-        if not_placed:
-            self.fetch.unpop(not_placed)
+            opclass = op.opclass
+            queue = fp_iq if opclass in FP_OPCLASSES else int_iq
+            needs_lsq = (opclass is OpClass.LOAD
+                         or opclass is OpClass.STORE)
+            if (rob.full or not queue.can_insert()
+                    or (needs_lsq and lsq.full)
+                    or (op.dst is not None
+                        and rename.free_count() == 0)):
+                self.fetch.unpop(ops[i:])  # structural stall
+                return
+            renamed = rename.rename(op, fp_offset=FP_RENAME_OFFSET)
+            rob_index = rob.allocate(ROBEntry(
+                op=op, dst_tag=renamed.dst_tag,
+                freed_tag=renamed.freed_tag))
+            if needs_lsq:
+                lsq.allocate()
+            queue.insert(op, rob_index,
+                         rename.waiting_tags(renamed.src_tags))
 
-    def _try_dispatch(self, op: MicroOp) -> bool:
-        queue = self.fp_iq if op.opclass in FP_OPCLASSES else self.int_iq
-        if self.rob.full or not queue.can_insert():
-            return False
-        needs_lsq = LoadStoreQueue.needs_entry(op)
-        if needs_lsq and self.lsq.full:
-            return False
-        if op.dst is not None and self.rename.free_count() == 0:
-            return False
-        renamed = self.rename.rename(op, fp_offset=FP_RENAME_OFFSET)
-        rob_index = self.rob.allocate(ROBEntry(
-            op=op, dst_tag=renamed.dst_tag, freed_tag=renamed.freed_tag))
-        if needs_lsq:
-            self.lsq.allocate()
-        waiting = {t for t in renamed.src_tags
-                   if not self.rename.is_ready(t)}
-        queue.insert(op, rob_index, waiting)
-        return True
+    # ------------------------------------------------------------------
+    # warm-state checkpointing (repro.sim.checkpoint)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Live references to every component's mutable state.
+
+        The caller must serialize the whole dict in **one** pass (one
+        ``pickle.dumps``) before the pipeline advances another cycle:
+        micro-ops are shared between the fetch buffer, issue queues,
+        active list and functional-unit pipelines, and a single pass is
+        what preserves that identity through a round trip.
+        """
+        return {
+            "now": self.now,
+            "stats": self.stats,
+            "stalled_until": self.stalled_until,
+            "throttled_until": self.throttled_until,
+            "fp_reg_accesses": self.fp_reg_accesses,
+            "fetch": self.fetch.snapshot_state(),
+            "rename": self.rename.snapshot_state(),
+            "rob": self.rob.snapshot_state(),
+            "lsq": self.lsq.snapshot_state(),
+            "memory": self.memory.snapshot_state(),
+            "int_iq": self.int_iq.snapshot_state(),
+            "fp_iq": self.fp_iq.snapshot_state(),
+            "int_alus": [u.snapshot_state() for u in self.int_alus],
+            "fp_adders": [u.snapshot_state() for u in self.fp_adders],
+            "fp_mul": self.fp_mul.snapshot_state(),
+            "int_select": self.int_select.snapshot_state(),
+            "fp_add_select": self.fp_add_select.snapshot_state(),
+            "fp_mul_select": self.fp_mul_select.snapshot_state(),
+            "regfile": self.regfile.snapshot_state(),
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Adopt a deserialized :meth:`snapshot_state` payload.
+
+        Components are mutated **in place** — the DTM controller and
+        the sanitizer hold references to these objects, so replacing
+        them would silently detach the control loop.
+        """
+        self.now = state["now"]
+        self.stats = state["stats"]
+        self.stalled_until = state["stalled_until"]
+        self.throttled_until = state["throttled_until"]
+        self.fp_reg_accesses = state["fp_reg_accesses"]
+        self.fetch.restore_state(state["fetch"])
+        self.rename.restore_state(state["rename"])
+        self.rob.restore_state(state["rob"])
+        self.lsq.restore_state(state["lsq"])
+        self.memory.restore_state(state["memory"])
+        self.int_iq.restore_state(state["int_iq"])
+        self.fp_iq.restore_state(state["fp_iq"])
+        for unit, unit_state in zip(self.int_alus, state["int_alus"]):
+            unit.restore_state(unit_state)
+        for unit, unit_state in zip(self.fp_adders, state["fp_adders"]):
+            unit.restore_state(unit_state)
+        self.fp_mul.restore_state(state["fp_mul"])
+        self.int_select.restore_state(state["int_select"])
+        self.fp_add_select.restore_state(state["fp_add_select"])
+        self.fp_mul_select.restore_state(state["fp_mul_select"])
+        self.regfile.restore_state(state["regfile"])
+        # Units restore their busy flags directly (bypassing
+        # ``set_busy``), so the shared tally is recomputed here.
+        self._busy_count[0] = sum(
+            1 for unit in self._all_units if unit.busy)
 
     # ------------------------------------------------------------------
     # power-model interface

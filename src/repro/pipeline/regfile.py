@@ -18,7 +18,7 @@ Two structures live here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.mapping import PortMapping
 from .isa import FP_OPCLASSES, MicroOp
@@ -51,6 +51,9 @@ class RenameTable:
         self.n_arch = n_arch_regs
         self._map: List[int] = list(range(n_arch_regs))
         self._free: List[int] = list(range(n_arch_regs, n_physical))
+        # Mirror of ``_free`` for the O(1) double-release guard; the
+        # list stays authoritative (pop order is the allocation order).
+        self._free_set: Set[int] = set(self._free)
         self._ready: Set[int] = set(range(n_arch_regs))
 
     def free_count(self) -> int:
@@ -85,6 +88,7 @@ class RenameTable:
             if not self._free:
                 raise RenameError("out of physical registers")
             dst_tag = self._free.pop()
+            self._free_set.remove(dst_tag)
             freed = amap[offset + op.dst]
             amap[offset + op.dst] = dst_tag
             self._ready.discard(dst_tag)
@@ -93,14 +97,33 @@ class RenameTable:
     def mark_ready(self, tag: int) -> None:
         self._ready.add(tag)
 
+    def waiting_tags(self, tags: Tuple[int, ...]) -> Set[int]:
+        """Subset of ``tags`` whose producers have not broadcast yet."""
+        ready = self._ready
+        return {t for t in tags if t not in ready}
+
     def release(self, tag: Optional[int]) -> None:
         """Return a physical register to the free list (at commit)."""
         if tag is None:
             return
-        if tag in self._free:
+        if tag in self._free_set:
             raise ValueError(f"double release of physical register {tag}")
         self._free.append(tag)
+        self._free_set.add(tag)
         self._ready.discard(tag)
+
+    # ------------------------------------------------------------------
+    # warm-state checkpointing (repro.sim.checkpoint)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {"map": self._map, "free": self._free,
+                "ready": self._ready}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self._map = list(state["map"])
+        self._free = list(state["free"])
+        self._free_set = set(self._free)
+        self._ready = set(state["ready"])
 
 
 @dataclass
@@ -187,3 +210,15 @@ class RegisterFileBank:
         for copy in sorted(self._off):
             blocked.update(self.mapping.alus_on_copy(copy))
         self._blocked = blocked
+
+    # ------------------------------------------------------------------
+    # warm-state checkpointing (repro.sim.checkpoint)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {"counters": self.counters, "off": self._off,
+                "blocked": self._blocked}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self.counters = state["counters"]
+        self._off = set(state["off"])
+        self._blocked = set(state["blocked"])

@@ -10,7 +10,7 @@ trace driven (addresses are architecturally correct).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from .isa import MicroOp, OpClass
 
@@ -113,6 +113,21 @@ class ActiveList:
         self.retired += len(retired)
         return retired
 
+    # ------------------------------------------------------------------
+    # warm-state checkpointing (repro.sim.checkpoint)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {"entries": self._entries, "head": self._head,
+                "tail": self._tail, "count": self._count,
+                "retired": self.retired}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self._entries = list(state["entries"])
+        self._head = state["head"]
+        self._tail = state["tail"]
+        self._count = state["count"]
+        self.retired = state["retired"]
+
 
 class LoadStoreQueue:
     """Occupancy model of the unified LSQ."""
@@ -143,3 +158,9 @@ class LoadStoreQueue:
     @staticmethod
     def needs_entry(op: MicroOp) -> bool:
         return op.opclass in (OpClass.LOAD, OpClass.STORE)
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        return {"count": self._count}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self._count = state["count"]

@@ -35,7 +35,7 @@ hardware cost of fine-grain turnoff.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from .issue_queue import CompactingIssueQueue, QueueMode
 
@@ -181,3 +181,15 @@ class SelectNetwork:
             # logical priority is identical across trees, so masking the
             # winner is the only inter-tree interaction
         return grants
+
+    # ------------------------------------------------------------------
+    # warm-state checkpointing (repro.sim.checkpoint)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> Dict[str, Any]:
+        """The round-robin rotation is warm state: two runs with the
+        same policy diverge if it is not restored."""
+        return {"counters": self.counters, "rr_offset": self._rr_offset}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self.counters = state["counters"]
+        self._rr_offset = state["rr_offset"]

@@ -21,6 +21,16 @@ grid after an unrelated edit costs near nothing:
   config change invalidates exactly the affected entries.  Disable
   with ``REPRO_CACHE=0``; manage with ``repro cache info|clear``.
 
+Beyond whole-result memoization, the engine eliminates *within-grid*
+redundancy with warm-state checkpoints (:mod:`repro.sim.checkpoint`):
+technique variants that share a (benchmark, seed, processor, energy,
+warmup) cell fork from one post-warm-up snapshot instead of each
+re-running warm-up.  When fanning out to a pool, pending runs are
+split into a *leader* wave (one run per checkpoint key, which captures
+the checkpoint) and a *follower* wave (everything else, which restores
+it), so followers never race their leader.  Disable with
+``REPRO_CHECKPOINTS=0``.
+
 Sanitized runs compose: with ``REPRO_SANITIZE=1`` each worker process
 installs the runtime sanitizer inside its own simulator and reports
 the number of checks performed back to the parent's
@@ -29,19 +39,20 @@ the number of checks performed back to the parent's
 
 from __future__ import annotations
 
-import dataclasses
-import enum
 import hashlib
 import json
 import os
 import pickle
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, wait
 from dataclasses import dataclass
-from functools import lru_cache
+from functools import partial
 from pathlib import Path
-from typing import Any, Callable, List, Mapping, Optional, Sequence, Union
+from typing import (Callable, Dict, List, Optional, Sequence, Tuple, Union)
 
 from ..analysis.sanitize import sanitize_enabled
+from .checkpoint import (CacheInfo, CheckpointError, CheckpointStore,
+                         _stable, checkpoint_key, checkpoints_enabled,
+                         code_fingerprint)
 from .results import SimulationResult
 from .runner import SimulationConfig, Simulator
 
@@ -71,42 +82,9 @@ def cache_enabled() -> bool:
 # ---------------------------------------------------------------------------
 # content-addressed run keys
 # ---------------------------------------------------------------------------
-
-@lru_cache(maxsize=1)
-def code_fingerprint() -> str:
-    """SHA-256 over every ``repro`` source file (path + contents).
-
-    Part of every cache key: editing any module invalidates all cached
-    results, which is coarse but can never serve a stale simulation.
-    """
-    digest = hashlib.sha256()
-    root = Path(__file__).resolve().parents[1]
-    for path in sorted(root.rglob("*.py")):
-        digest.update(str(path.relative_to(root)).encode())
-        digest.update(b"\0")
-        digest.update(path.read_bytes())
-        digest.update(b"\0")
-    return digest.hexdigest()
-
-
-def _stable(obj: Any) -> Any:
-    """Recursively convert ``obj`` to a JSON-serializable form whose
-    text rendering is stable across processes and sessions."""
-    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return [type(obj).__name__,
-                {f.name: _stable(getattr(obj, f.name))
-                 for f in dataclasses.fields(obj)}]
-    if isinstance(obj, enum.Enum):
-        return [type(obj).__name__, obj.name]
-    if isinstance(obj, Mapping):
-        return {str(key): _stable(value)
-                for key, value in sorted(obj.items(),
-                                         key=lambda kv: str(kv[0]))}
-    if isinstance(obj, (list, tuple)):
-        return [_stable(value) for value in obj]
-    if obj is None or isinstance(obj, (str, int, float, bool)):
-        return obj
-    raise TypeError(f"cannot build a stable key from {type(obj).__name__}")
+# ``code_fingerprint``, ``_stable``, and ``CacheInfo`` live in
+# .checkpoint (shared by both stores) and are re-exported here for
+# callers of the original API.
 
 
 def config_key(config: SimulationConfig,
@@ -128,15 +106,6 @@ def config_key(config: SimulationConfig,
 # ---------------------------------------------------------------------------
 # on-disk result cache
 # ---------------------------------------------------------------------------
-
-@dataclass(frozen=True)
-class CacheInfo:
-    """Summary of one cache directory."""
-
-    root: str
-    entries: int
-    size_bytes: int
-
 
 class ResultCache:
     """Pickle store of finished :class:`SimulationResult` objects.
@@ -219,22 +188,67 @@ class WorkerOutcome:
     result: SimulationResult
     sanitized: bool
     sanitizer_checks: int
+    #: Whether this run restored from / captured a warm checkpoint.
+    checkpoint_restored: bool = False
+    checkpoint_captured: bool = False
+    #: Wall-clock seconds per stage (see ``Simulator.stage_times``).
+    stage_times: Optional[Dict[str, float]] = None
 
 
-def _execute_config(config: SimulationConfig) -> WorkerOutcome:
+def _prepared_simulator(config: SimulationConfig,
+                        checkpoint_root: Optional[str]
+                        ) -> Tuple[Simulator, bool, bool]:
+    """Build a simulator, restoring or capturing a warm checkpoint.
+
+    Returns ``(simulator, restored, captured)``.  Any checkpoint
+    problem — unkeyable config, corrupt blob, non-replayable trace —
+    silently falls back to a fresh warm-up: checkpointing is an
+    optimization, never a correctness dependency.
+    """
+    if checkpoint_root is None:
+        return Simulator(config), False, False
+    store = CheckpointStore(checkpoint_root)
+    try:
+        key = checkpoint_key(config)
+    except TypeError:
+        return Simulator(config), False, False
+    blob = store.get(key)
+    if blob is not None:
+        try:
+            return Simulator.from_checkpoint(config, blob), True, False
+        except CheckpointError:
+            pass  # unreadable or stale entry: fresh warm-up below
+    simulator = Simulator(config)
+    captured = False
+    if simulator.supports_checkpoint:
+        simulator.prepare()
+        store.put(key, simulator.capture_warm_state())
+        captured = True
+    return simulator, False, captured
+
+
+def _execute_config(config: SimulationConfig,
+                    checkpoint_root: Optional[str] = None) -> WorkerOutcome:
     """Process-pool entry point: run one simulation to completion.
 
     Built around :class:`Simulator` (not ``run_simulation``) so the
     sanitizer's per-run activity — installed inside the worker when
-    ``REPRO_SANITIZE=1`` — can be reported to the parent.
+    ``REPRO_SANITIZE=1`` — can be reported to the parent.  With a
+    ``checkpoint_root`` the run restores the cell's warm checkpoint if
+    present, or captures it after a fresh warm-up.
     """
-    simulator = Simulator(config)
+    simulator, restored, captured = _prepared_simulator(
+        config, checkpoint_root)
     result = simulator.run()
     sanitizer = simulator.sanitizer
-    if sanitizer is None:
-        return WorkerOutcome(result, sanitized=False, sanitizer_checks=0)
-    return WorkerOutcome(result, sanitized=True,
-                         sanitizer_checks=sanitizer.stats.total_checks)
+    return WorkerOutcome(
+        result,
+        sanitized=sanitizer is not None,
+        sanitizer_checks=(0 if sanitizer is None
+                          else sanitizer.stats.total_checks),
+        checkpoint_restored=restored,
+        checkpoint_captured=captured,
+        stage_times=dict(simulator.stage_times))
 
 
 # ---------------------------------------------------------------------------
@@ -253,10 +267,25 @@ class EngineStats:
     degraded: int = 0
     sanitized_runs: int = 0
     sanitizer_checks: int = 0
+    #: Warm-checkpoint traffic: runs that restored an existing
+    #: checkpoint vs. runs that captured a fresh one.
+    checkpoint_restores: int = 0
+    checkpoint_captures: int = 0
+    #: Aggregate per-stage wall-clock seconds across executed runs
+    #: (CPU time across workers, not elapsed time, when parallel).
+    warmup_s: float = 0.0
+    restore_s: float = 0.0
+    measure_s: float = 0.0
+    sample_s: float = 0.0
 
     @property
     def cache_hit_rate(self) -> float:
         return self.cache_hits / self.total if self.total else 0.0
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """The per-stage breakdown as a plain dict (report-friendly)."""
+        return {"warmup_s": self.warmup_s, "restore_s": self.restore_s,
+                "measure_s": self.measure_s, "sample_s": self.sample_s}
 
 
 Runner = Callable[[SimulationConfig], WorkerOutcome]
@@ -269,17 +298,44 @@ class ExperimentEngine:
     callable returning :class:`WorkerOutcome`) exists for tests that
     need crashing or instrumented workers.  Pass ``use_cache=False``
     for always-fresh runs regardless of the environment.
+
+    Warm-state checkpointing activates when the default runner is in
+    use and ``REPRO_CHECKPOINTS`` permits it: pass a
+    :class:`~repro.sim.checkpoint.CheckpointStore` (or a root path) as
+    ``checkpoints`` to place the store explicitly, otherwise it lives
+    beside the result cache (``<cache-root>/checkpoints``) and is
+    disabled when the result cache is.  ``use_checkpoints=False``
+    forces every run through a fresh warm-up.
     """
 
     def __init__(self, jobs: Optional[int] = None,
                  cache: Optional[ResultCache] = None,
                  use_cache: bool = True,
-                 runner: Optional[Runner] = None) -> None:
+                 runner: Optional[Runner] = None,
+                 checkpoints: Union[CheckpointStore, str, Path,
+                                    None] = None,
+                 use_checkpoints: bool = True) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, jobs)
         self.cache: Optional[ResultCache] = None
         if use_cache and cache_enabled():
             self.cache = cache if cache is not None else ResultCache()
-        self.runner: Runner = runner if runner is not None else _execute_config
+        self.checkpoints: Optional[CheckpointStore] = None
+        if runner is None and use_checkpoints and checkpoints_enabled():
+            if isinstance(checkpoints, CheckpointStore):
+                self.checkpoints = checkpoints
+            elif checkpoints is not None:
+                self.checkpoints = CheckpointStore(checkpoints)
+            elif self.cache is not None:
+                self.checkpoints = CheckpointStore(
+                    self.cache.root / "checkpoints")
+        if runner is not None:
+            self.runner: Runner = runner
+        elif self.checkpoints is not None:
+            self.runner = partial(
+                _execute_config,
+                checkpoint_root=str(self.checkpoints.root))
+        else:
+            self.runner = _execute_config
         self.stats = EngineStats()
 
     # ------------------------------------------------------------------
@@ -305,10 +361,14 @@ class ExperimentEngine:
             pending.append(i)
 
         if self.jobs <= 1 or len(pending) <= 1:
+            # Inline runs execute in submission order, so a leader has
+            # always captured its cell's checkpoint before a follower
+            # asks the store for it — no wave split needed.
             for i in pending:
                 results[i] = self._run_inline(configs[i])
         else:
-            self._run_pool(configs, pending, results)
+            for wave in self._checkpoint_waves(configs, pending):
+                self._run_pool(configs, wave, results)
 
         if self.cache is not None:
             for i in pending:
@@ -324,10 +384,47 @@ class ExperimentEngine:
         return out
 
     # ------------------------------------------------------------------
+    def _checkpoint_waves(self, configs: Sequence[SimulationConfig],
+                          pending: Sequence[int]) -> List[List[int]]:
+        """Split pool work into leader and follower waves.
+
+        The first pending run of each checkpoint key whose checkpoint
+        is not already on disk is a *leader*; it runs (and captures) in
+        the first wave so every *follower* in the second wave restores
+        instead of redundantly warming up in parallel with its leader.
+        """
+        if self.checkpoints is None:
+            return [list(pending)]
+        leaders: List[int] = []
+        followers: List[int] = []
+        claimed: set = set()
+        for i in pending:
+            try:
+                key = checkpoint_key(configs[i])
+            except TypeError:
+                leaders.append(i)
+                continue
+            if key in claimed or self.checkpoints.has(key):
+                followers.append(i)
+            else:
+                claimed.add(key)
+                leaders.append(i)
+        return [wave for wave in (leaders, followers) if wave]
+
     def _note(self, outcome: WorkerOutcome) -> None:
         if outcome.sanitized:
             self.stats.sanitized_runs += 1
             self.stats.sanitizer_checks += outcome.sanitizer_checks
+        if outcome.checkpoint_restored:
+            self.stats.checkpoint_restores += 1
+        if outcome.checkpoint_captured:
+            self.stats.checkpoint_captures += 1
+        if outcome.stage_times:
+            times = outcome.stage_times
+            self.stats.warmup_s += times.get("warmup_s", 0.0)
+            self.stats.restore_s += times.get("restore_s", 0.0)
+            self.stats.measure_s += times.get("measure_s", 0.0)
+            self.stats.sample_s += times.get("sample_s", 0.0)
 
     def _run_inline(self, config: SimulationConfig) -> SimulationResult:
         outcome = self.runner(config)

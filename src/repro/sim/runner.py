@@ -12,8 +12,12 @@ dynamics, not cold-start transients, dominate the measurement.
 
 from __future__ import annotations
 
+import gc
+import pickle
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Iterator, Optional
+from time import perf_counter
+from typing import Any, Dict, Iterator, Optional
 
 from ..analysis.sanitize import Sanitizer, sanitize_enabled
 from ..core.dtm import ThermalManager
@@ -27,12 +31,34 @@ from ..power.energy import EnergyModel
 from ..thermal.floorplan import Floorplan, FloorplanVariant, ev6_floorplan
 from ..thermal.rc_model import ThermalModel
 from ..thermal.sensors import SensorBank
-from ..workloads.spec2000 import workload
+from ..workloads.trace import ReplayTrace, replay_trace
+from .checkpoint import CHECKPOINT_VERSION, CheckpointError
 from .results import SimulationResult
 
 #: Default run length (cycles): long enough for several heating /
 #: cooling episodes under the default thermal acceleration.
 DEFAULT_MAX_CYCLES = 120_000
+
+
+@contextmanager
+def _gc_paused() -> Iterator[None]:
+    """Pause cyclic garbage collection around a simulation loop.
+
+    The simulator's object graph is cycle-free (micro-ops, queue
+    entries, and in-flight records only reference forward), so nothing
+    in a run *needs* the collector — but the materialized trace keeps
+    tens of thousands of micro-ops alive, and the periodic generational
+    scans over them are pure overhead in the cycle loop.  Reference
+    counting still frees all per-cycle garbage immediately.
+    """
+    if not gc.isenabled():
+        yield
+        return
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
 
 
 @dataclass(frozen=True)
@@ -70,7 +96,8 @@ class Simulator:
     """Assembles and drives one full-system simulation."""
 
     def __init__(self, config: SimulationConfig,
-                 trace: Optional[Iterator[MicroOp]] = None) -> None:
+                 trace: Optional[Iterator[MicroOp]] = None,
+                 warm_caches: bool = True) -> None:
         self.config = config
         self.floorplan = ev6_floorplan(config.variant)
         self.thermal = ThermalModel(
@@ -83,13 +110,15 @@ class Simulator:
                                config.processor.num_regfile_copies)
         self.processor = Processor(
             trace if trace is not None
-            else workload(config.benchmark, seed=config.seed),
+            else replay_trace(config.benchmark, config.seed),
             config=config.processor,
             mapping=mapping,
             round_robin_alus=config.techniques.round_robin_alus)
         source = trace if trace is not None else self.processor.fetch.trace
         footprint = getattr(source, "warm_footprint", None)
-        if footprint is not None:
+        # ``warm_caches=False`` is the checkpoint-restore path: the
+        # restored cache state supersedes the pre-touch pass entirely.
+        if footprint is not None and warm_caches:
             l1_addrs, l2_addrs = footprint()
             self.processor.memory.warm(l1_addrs, l2_addrs)
         self.sensors = SensorBank(self.thermal)
@@ -97,6 +126,14 @@ class Simulator:
                                   config.thermal, config.techniques)
         self._interval_s = (config.thermal.sensor_interval_cycles
                             * config.thermal.cycle_time_s)
+        #: Wall-clock seconds per stage (``warmup_s`` or ``restore_s``,
+        #: ``measure_s``, ``sample_s``), filled in as stages run.
+        self.stage_times: Dict[str, float] = {}
+        self._sample_s = 0.0
+        self._warm_done = False
+        self._measure_started = False
+        self._warm_base: Any = None
+        self._warm_end: Any = None
         self.sanitizer: Optional[Sanitizer] = None
         if config.sanitize or sanitize_enabled():
             self.sanitizer = Sanitizer()
@@ -104,28 +141,127 @@ class Simulator:
 
     def run(self) -> SimulationResult:
         """Execute the configured run and collect results."""
-        self._warmup()
-        self.processor.run(
-            self.config.max_cycles,
-            on_sample=self._on_sample,
-            sample_interval=self.config.thermal.sensor_interval_cycles)
+        self.prepare()
+        self._measure_started = True
+        self._sample_s = 0.0
+        start = perf_counter()
+        with _gc_paused():
+            self.processor.run(
+                self.config.max_cycles,
+                on_sample=self._on_sample,
+                sample_interval=self.config.thermal.sensor_interval_cycles)
+        elapsed = perf_counter() - start
+        self.stage_times["sample_s"] = self._sample_s
+        self.stage_times["measure_s"] = elapsed - self._sample_s
         return self._collect()
+
+    def prepare(self) -> None:
+        """Bring the simulator to its post-warm-up state (idempotent).
+
+        Separated from :meth:`run` so a warm checkpoint can be captured
+        between warm-up and measurement (see :meth:`capture_warm_state`).
+        """
+        if self._warm_done:
+            return
+        start = perf_counter()
+        self._warmup()
+        self.stage_times["warmup_s"] = perf_counter() - start
 
     def _warmup(self) -> None:
         """Run unmeasured cycles to estimate average power, set the
         thermal network to its steady state for that power, and zero
         the performance statistics."""
         cycles = self.config.warmup_cycles
-        self.accountant.reset(self.processor.activity_snapshot())
+        base = self.processor.activity_snapshot()
+        self._warm_base = base
+        self._warm_end = base
+        self.accountant.reset(base)
         if cycles > 0:
-            self.processor.run(cycles)
+            with _gc_paused():
+                self.processor.run(cycles)
+            end = self.processor.activity_snapshot()
+            self._warm_end = end
             seconds = cycles * self.config.thermal.cycle_time_s
-            powers = self.accountant.sample(
-                self.processor.activity_snapshot(), seconds)
+            powers = self.accountant.sample(end, seconds)
             self.thermal.initialize_steady_state(powers)
         self.processor.stats = ProcessorStats()
+        self._warm_done = True
+
+    # ------------------------------------------------------------------
+    # warm-state checkpointing
+    # ------------------------------------------------------------------
+    @property
+    def supports_checkpoint(self) -> bool:
+        """Checkpoints need a repositionable trace; custom iterator
+        traces passed to :meth:`__init__` cannot be replayed."""
+        return isinstance(self.processor.fetch.trace, ReplayTrace)
+
+    def capture_warm_state(self) -> bytes:
+        """Serialize the post-warm-up state into a checkpoint blob.
+
+        Must be called after :meth:`prepare` and before :meth:`run`
+        advances the pipeline — the snapshot holds live references into
+        the processor, so the single :func:`pickle.dumps` here is what
+        freezes them (and preserves shared ``MicroOp`` identity across
+        the fetch buffer, issue queues, ROB, and functional units).
+        """
+        if not self._warm_done:
+            raise CheckpointError("prepare() must complete before capture")
+        if self._measure_started:
+            raise CheckpointError("cannot capture after measurement began")
+        trace = self.processor.fetch.trace
+        if not isinstance(trace, ReplayTrace):
+            raise CheckpointError("trace is not replayable")
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "trace_position": trace.position,
+            "processor": self.processor.snapshot_state(),
+            "warm_base": self._warm_base,
+            "warm_end": self._warm_end,
+        }
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def from_checkpoint(cls, config: SimulationConfig,
+                        blob: bytes) -> "Simulator":
+        """Build a simulator already in its post-warm-up state.
+
+        The power/thermal initialization is *replayed* from the stored
+        activity snapshots through this instance's (possibly sanitizer-
+        wrapped) accountant and thermal model, so a restored run is
+        bit-identical to a fresh one — including sanitizer bookkeeping.
+        Raises :class:`CheckpointError` on any malformed blob; callers
+        fall back to a fresh warm-up.
+        """
+        start = perf_counter()
+        sim = cls(config, warm_caches=False)
+        trace = sim.processor.fetch.trace
+        if not isinstance(trace, ReplayTrace):
+            raise CheckpointError("trace is not replayable")
+        try:
+            state = pickle.loads(blob)
+            if (not isinstance(state, dict)
+                    or state.get("version") != CHECKPOINT_VERSION):
+                raise CheckpointError("unrecognized checkpoint format")
+            sim.processor.restore_state(state["processor"])
+            trace.seek(state["trace_position"])
+            sim._warm_base = state["warm_base"]
+            sim._warm_end = state["warm_end"]
+            sim.accountant.reset(sim._warm_base)
+            if config.warmup_cycles > 0:
+                seconds = config.warmup_cycles * config.thermal.cycle_time_s
+                powers = sim.accountant.sample(sim._warm_end, seconds)
+                sim.thermal.initialize_steady_state(powers)
+        except CheckpointError:
+            raise
+        except Exception as exc:
+            raise CheckpointError(f"corrupt checkpoint: {exc!r}") from exc
+        sim._warm_done = True
+        sim.stage_times["restore_s"] = perf_counter() - start
+        return sim
 
     def _on_sample(self, processor: Processor) -> None:
+        start = perf_counter()
         # Vector fast path: the accountant's power vector is aligned
         # with floorplan.names, which is exactly the thermal model's
         # die-node order — no per-sample dict is built.
@@ -133,6 +269,7 @@ class Simulator:
             processor.activity_snapshot(), self._interval_s)
         self.thermal.step_vector(powers, self._interval_s)
         self.dtm.on_sample(processor)
+        self._sample_s += perf_counter() - start
 
     def _collect(self) -> SimulationResult:
         stats = self.processor.stats

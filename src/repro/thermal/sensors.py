@@ -10,29 +10,62 @@ the result tables report.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
 
 from .rc_model import ThermalModel
 
 
-@dataclass
 class SensorStats:
-    """Running per-block temperature statistics."""
+    """Per-block temperature history.
 
-    samples: int = 0
-    total: float = 0.0
-    maximum: float = float("-inf")
+    Readings land in a preallocated numpy array that doubles when
+    full, so recording stays amortized O(1) with no per-sample object
+    churn, and the reported statistics are array reductions over the
+    exact recorded values.
+    """
+
+    __slots__ = ("_values", "_count")
+
+    def __init__(self, initial_size: int = 64) -> None:
+        if initial_size < 1:
+            raise ValueError("initial_size must be positive")
+        self._values = np.empty(initial_size, dtype=np.float64)
+        self._count = 0
 
     def record(self, value: float) -> None:
-        self.samples += 1
-        self.total += value
-        if value > self.maximum:
-            self.maximum = value
+        values = self._values
+        if self._count == values.shape[0]:
+            grown = np.empty(values.shape[0] * 2, dtype=np.float64)
+            grown[:self._count] = values
+            self._values = values = grown
+        values[self._count] = value
+        self._count += 1
+
+    @property
+    def samples(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return float(self._values[:self._count].sum())
+
+    @property
+    def maximum(self) -> float:
+        if not self._count:
+            return float("-inf")
+        return float(self._values[:self._count].max())
 
     @property
     def mean(self) -> float:
-        return self.total / self.samples if self.samples else 0.0
+        if not self._count:
+            return 0.0
+        return float(self._values[:self._count].mean())
+
+    def history(self) -> np.ndarray:
+        """The recorded readings, oldest first (a copy)."""
+        return self._values[:self._count].copy()
 
 
 class SensorBank:

@@ -239,7 +239,7 @@ class SyntheticWorkload:
         rng = self._rng
         seq = self._seq
         pc = seq & 0xFFFF
-        if opclass in (OpClass.INT_ALU, OpClass.INT_MUL):
+        if opclass is OpClass.INT_ALU or opclass is OpClass.INT_MUL:
             src1 = self._pick_source(self._recent_int)
             src2 = self._pick_source(self._recent_int)
             dst = self._alloc_dst(fp=False)
@@ -261,7 +261,7 @@ class SyntheticWorkload:
             wrong = rng.random() < self._mispredict_rate
             return MicroOp(seq, opclass, src1=src1, taken=taken,
                            mispredicted=wrong, pc=pc)
-        if opclass in (OpClass.FP_ADD, OpClass.FP_MUL):
+        if opclass is OpClass.FP_ADD or opclass is OpClass.FP_MUL:
             src1 = self._pick_source(self._recent_fp)
             src2 = self._pick_source(self._recent_fp)
             dst = self._alloc_dst(fp=True)

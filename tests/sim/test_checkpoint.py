@@ -1,0 +1,289 @@
+"""Tests for warm-state checkpointing.
+
+The load-bearing property is *bit-identical equivalence*: a run
+restored from a warm checkpoint must produce exactly the same
+:class:`SimulationResult` — every counter and every temperature — as a
+run that warmed up from scratch, for every technique and with the
+sanitizer both off and on.  The rest covers the checkpoint key's
+sharing/invalidation contract, the blob store, and the engine
+integration (leader captures, follower restores, corruption falls
+back).
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core.mapping import MappingKind
+from repro.core.policies import (ALL_TECHNIQUES, BASELINE, ALUPolicy,
+                                 IssueQueuePolicy, RegFilePolicy,
+                                 TechniqueConfig)
+from repro.pipeline.config import ProcessorConfig, ThermalConfig
+from repro.sim.checkpoint import (CheckpointError, CheckpointStore,
+                                  checkpoint_key, checkpoints_enabled)
+from repro.sim.parallel import (ExperimentEngine, ResultCache,
+                                _execute_config)
+from repro.sim.runner import SimulationConfig, Simulator
+from repro.thermal.floorplan import FloorplanVariant
+
+
+def small_config(**overrides):
+    base = dict(benchmark="gzip", max_cycles=3_000, warmup_cycles=1_000)
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+def capture_blob(config):
+    """Warm a donor simulator and capture its checkpoint."""
+    donor = Simulator(config)
+    donor.prepare()
+    return donor.capture_warm_state()
+
+
+# ---------------------------------------------------------------------------
+# fresh vs restored equivalence
+# ---------------------------------------------------------------------------
+
+class TestEquivalence:
+    @pytest.mark.parametrize("bench", ["gzip", "mesa"])
+    @pytest.mark.parametrize("techniques", [BASELINE, ALL_TECHNIQUES],
+                             ids=["baseline", "all-techniques"])
+    @pytest.mark.parametrize("sanitize", [False, True],
+                             ids=["plain", "sanitized"])
+    def test_restored_run_is_bit_identical(self, bench, techniques,
+                                           sanitize):
+        config = small_config(benchmark=bench, techniques=techniques,
+                              variant=FloorplanVariant.ALU,
+                              sanitize=sanitize)
+        # The donor is never sanitized: the checkpoint key ignores the
+        # sanitize flag, so a sanitized run must be able to restore a
+        # checkpoint captured by an unsanitized one (and vice versa).
+        blob = capture_blob(dataclasses.replace(config, sanitize=False))
+        fresh = Simulator(config).run()
+        restored_sim = Simulator.from_checkpoint(config, blob)
+        restored = restored_sim.run()
+        assert dataclasses.asdict(fresh) == dataclasses.asdict(restored)
+        if sanitize:
+            assert restored_sim.sanitizer is not None
+            assert restored_sim.sanitizer.stats.total_checks > 0
+
+    def test_variants_share_one_checkpoint(self):
+        """Techniques with equal warm-relevant fields fork from the
+        same blob and still match their own fresh runs."""
+        base = small_config(variant=FloorplanVariant.ALU)
+        variants = [
+            dataclasses.replace(
+                base, techniques=TechniqueConfig(alus=ALUPolicy.FINE_GRAIN)),
+            dataclasses.replace(
+                base, techniques=TechniqueConfig(
+                    issue_queue=IssueQueuePolicy.ACTIVITY_TOGGLING)),
+        ]
+        blob = capture_blob(base)
+        for config in variants:
+            assert checkpoint_key(config) == checkpoint_key(base)
+            fresh = Simulator(config).run()
+            restored = Simulator.from_checkpoint(config, blob).run()
+            assert (dataclasses.asdict(fresh)
+                    == dataclasses.asdict(restored))
+
+    def test_restore_fills_stage_times(self):
+        config = small_config()
+        restored = Simulator.from_checkpoint(config, capture_blob(config))
+        restored.run()
+        assert set(restored.stage_times) == {"restore_s", "measure_s",
+                                             "sample_s"}
+        fresh = Simulator(config)
+        fresh.run()
+        assert set(fresh.stage_times) == {"warmup_s", "measure_s",
+                                          "sample_s"}
+
+
+# ---------------------------------------------------------------------------
+# capture preconditions
+# ---------------------------------------------------------------------------
+
+class TestCapture:
+    def test_capture_requires_prepare(self):
+        with pytest.raises(CheckpointError, match="prepare"):
+            Simulator(small_config()).capture_warm_state()
+
+    def test_capture_after_run_is_rejected(self):
+        simulator = Simulator(small_config())
+        simulator.run()
+        with pytest.raises(CheckpointError, match="measurement"):
+            simulator.capture_warm_state()
+
+    def test_custom_trace_is_not_checkpointable(self):
+        from repro.workloads.spec2000 import workload
+        simulator = Simulator(small_config(),
+                              trace=workload("gzip", seed=1))
+        assert not simulator.supports_checkpoint
+        simulator.prepare()
+        with pytest.raises(CheckpointError, match="replayable"):
+            simulator.capture_warm_state()
+
+
+# ---------------------------------------------------------------------------
+# key sharing and invalidation
+# ---------------------------------------------------------------------------
+
+class TestCheckpointKey:
+    def test_deterministic(self):
+        assert (checkpoint_key(small_config())
+                == checkpoint_key(small_config()))
+
+    def test_ignores_measurement_only_fields(self):
+        base = small_config()
+        for changed in (
+                dataclasses.replace(base, max_cycles=9_000),
+                dataclasses.replace(base, variant=FloorplanVariant.ALU),
+                dataclasses.replace(base, technique_label="renamed"),
+                dataclasses.replace(base, sanitize=True),
+                dataclasses.replace(
+                    base, thermal=ThermalConfig(max_temperature_k=360.0)),
+                dataclasses.replace(
+                    base, techniques=TechniqueConfig(
+                        alus=ALUPolicy.FINE_GRAIN)),
+        ):
+            assert checkpoint_key(changed) == checkpoint_key(base)
+
+    def test_warm_relevant_fields_change_key(self):
+        base = small_config()
+        for changed in (
+                dataclasses.replace(base, benchmark="mesa"),
+                dataclasses.replace(base, seed=2),
+                dataclasses.replace(base, warmup_cycles=2_000),
+                dataclasses.replace(
+                    base, processor=ProcessorConfig(num_int_alus=4)),
+                dataclasses.replace(
+                    base, techniques=TechniqueConfig(
+                        alus=ALUPolicy.ROUND_ROBIN)),
+                dataclasses.replace(
+                    base, techniques=TechniqueConfig(
+                        regfile=RegFilePolicy(MappingKind.BALANCED))),
+        ):
+            assert checkpoint_key(changed) != checkpoint_key(base)
+
+    def test_source_fingerprint_changes_key(self):
+        config = small_config()
+        assert (checkpoint_key(config, fingerprint="0" * 64)
+                != checkpoint_key(config, fingerprint="1" * 64))
+
+    def test_env_toggle(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECKPOINTS", raising=False)
+        assert checkpoints_enabled()
+        monkeypatch.setenv("REPRO_CHECKPOINTS", "0")
+        assert not checkpoints_enabled()
+
+
+# ---------------------------------------------------------------------------
+# the blob store
+# ---------------------------------------------------------------------------
+
+class TestCheckpointStore:
+    def test_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.put("ab" * 32, b"payload")
+        assert store.has("ab" * 32)
+        assert store.get("ab" * 32) == b"payload"
+
+    def test_missing_is_none(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.get("cd" * 32) is None
+        assert not store.has("cd" * 32)
+
+    def test_clear_and_info(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.put("ab" * 32, b"x")
+        store.put("cd" * 32, b"yz")
+        info = store.info()
+        assert info.entries == 2
+        assert info.size_bytes == 3
+        assert store.clear() == 2
+        assert store.info().entries == 0
+
+    def test_corrupt_blob_raises_checkpoint_error(self):
+        config = small_config()
+        for blob in (b"garbage", pickle.dumps({"version": 999}),
+                     pickle.dumps(["not", "a", "dict"])):
+            with pytest.raises(CheckpointError):
+                Simulator.from_checkpoint(config, blob)
+
+
+# ---------------------------------------------------------------------------
+# engine integration
+# ---------------------------------------------------------------------------
+
+def technique_grid():
+    """Two benchmarks x three techniques sharing warm state."""
+    techniques = [BASELINE, ALL_TECHNIQUES,
+                  TechniqueConfig(issue_queue=IssueQueuePolicy.
+                                  ACTIVITY_TOGGLING)]
+    return [small_config(benchmark=bench, techniques=t,
+                         variant=FloorplanVariant.ALU)
+            for bench in ("gzip", "mesa") for t in techniques]
+
+
+class TestEngineIntegration:
+    def test_grid_shares_checkpoints_and_matches_fresh(self, tmp_path):
+        grid = technique_grid()
+        engine = ExperimentEngine(jobs=1,
+                                  cache=ResultCache(tmp_path / "results"),
+                                  checkpoints=tmp_path / "ckpt")
+        checkpointed = engine.run_many(grid)
+        assert engine.stats.checkpoint_captures == 2  # one per benchmark
+        assert engine.stats.checkpoint_restores == 4  # the other runs
+        fresh = ExperimentEngine(jobs=1, use_cache=False,
+                                 use_checkpoints=False).run_many(grid)
+        for a, b in zip(checkpointed, fresh):
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    def test_second_grid_restores_everything(self, tmp_path):
+        grid = technique_grid()
+        first = ExperimentEngine(jobs=1, use_cache=False,
+                                 checkpoints=tmp_path)
+        first.run_many(grid)
+        second = ExperimentEngine(jobs=1, use_cache=False,
+                                  checkpoints=tmp_path)
+        second.run_many(grid)
+        assert second.stats.checkpoint_restores == len(grid)
+        assert second.stats.checkpoint_captures == 0
+
+    def test_parallel_grid_matches_inline(self, tmp_path):
+        grid = technique_grid()
+        pool = ExperimentEngine(jobs=2, use_cache=False,
+                                checkpoints=tmp_path / "pool")
+        inline = ExperimentEngine(jobs=1, use_cache=False,
+                                  use_checkpoints=False)
+        for a, b in zip(pool.run_many(grid), inline.run_many(grid)):
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    def test_corrupt_entry_falls_back_to_fresh_warmup(self, tmp_path):
+        config = small_config()
+        store = CheckpointStore(tmp_path)
+        store.put(checkpoint_key(config), b"garbage")
+        outcome = _execute_config(config, checkpoint_root=str(tmp_path))
+        assert not outcome.checkpoint_restored
+        assert outcome.checkpoint_captured  # fresh capture replaced it
+        fresh = Simulator(config).run()
+        assert (dataclasses.asdict(outcome.result)
+                == dataclasses.asdict(fresh))
+
+    def test_env_disables_checkpoints(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINTS", "0")
+        engine = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path))
+        assert engine.checkpoints is None
+
+    def test_custom_runner_bypasses_checkpoints(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path),
+                                  runner=_execute_config)
+        assert engine.checkpoints is None
+
+    def test_stats_record_stage_times(self, tmp_path):
+        engine = ExperimentEngine(jobs=1, use_cache=False,
+                                  checkpoints=tmp_path)
+        engine.run_many([small_config()])
+        stages = engine.stats.stage_seconds()
+        assert stages["warmup_s"] > 0
+        assert stages["measure_s"] > 0

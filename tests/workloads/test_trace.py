@@ -1,0 +1,75 @@
+"""Tests for materialized replayable traces."""
+
+from itertools import islice
+
+import pytest
+
+from repro.workloads.spec2000 import workload
+from repro.workloads.trace import (MaterializedTrace, ReplayTrace,
+                                   clear_registry, replay_trace)
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    clear_registry()
+    yield
+    clear_registry()
+
+
+def op_tuple(op):
+    return (op.seq, op.opclass, op.dst, op.src1, op.src2, op.mem_addr,
+            op.taken, op.mispredicted)
+
+
+class TestReplayIdentity:
+    def test_replay_matches_generator_stream(self):
+        generated = list(islice(workload("gzip", seed=1), 500))
+        replayed = list(islice(replay_trace("gzip", seed=1), 500))
+        assert ([op_tuple(a) for a in generated]
+                == [op_tuple(b) for b in replayed])
+
+    def test_two_cursors_share_one_buffer(self):
+        first = replay_trace("gzip")
+        second = replay_trace("gzip")
+        assert first.buffer is second.buffer
+        a = [op_tuple(op) for op in islice(first, 100)]
+        b = [op_tuple(op) for op in islice(second, 100)]
+        assert a == b
+
+    def test_seek_replays_from_position(self):
+        trace = replay_trace("mesa")
+        head = [op_tuple(op) for op in islice(trace, 200)]
+        trace.seek(50)
+        assert trace.position == 50
+        replay = [op_tuple(op) for op in islice(trace, 150)]
+        assert replay == head[50:]
+
+    def test_never_exhausts(self):
+        trace = replay_trace("gzip")
+        trace.seek(10_000)
+        assert next(trace) is not None
+
+    def test_warm_footprint_passthrough(self):
+        assert (replay_trace("gzip").warm_footprint()
+                == workload("gzip").warm_footprint())
+
+
+class TestRegistry:
+    def test_lru_eviction(self):
+        names = ["gzip", "mesa", "perlbmk", "parser", "vpr"]
+        traces = {name: replay_trace(name) for name in names}
+        # Capacity is 4: "gzip" (oldest) was evicted, the rest weren't.
+        assert replay_trace("mesa").buffer is traces["mesa"].buffer
+        assert replay_trace("gzip").buffer is not traces["gzip"].buffer
+
+    def test_distinct_seeds_distinct_buffers(self):
+        assert (replay_trace("gzip", seed=1).buffer
+                is not replay_trace("gzip", seed=2).buffer)
+
+
+class TestValidation:
+    def test_negative_position_rejected(self):
+        with pytest.raises(ValueError):
+            replay_trace("gzip").seek(-1)
+        with pytest.raises(ValueError):
+            ReplayTrace(MaterializedTrace(workload("gzip")), position=-5)

@@ -1,4 +1,4 @@
-"""repro-lint rule catalogue (REP001–REP005).
+"""repro-lint rule catalogue (REP001–REP006).
 
 Every rule is a subclass of :class:`Rule` with a stable ``rule_id``,
 a one-line ``title``, an ``autofix_hint`` explaining the sanctioned
@@ -673,6 +673,52 @@ class FrozenMutationRule(Rule):
         return False
 
 
+# ---------------------------------------------------------------------------
+# REP006 — print() in library code
+# ---------------------------------------------------------------------------
+
+#: Library paths where ``print`` is sanctioned: the CLI front-ends and
+#: the lint driver (whose findings ARE its console output).
+_PRINT_ALLOWED_SUFFIXES = (
+    "repro/cli.py",
+    "repro/__main__.py",
+    "repro/analysis/lint.py",
+)
+
+
+class LibraryPrintRule(Rule):
+    """REP006: library code must not ``print()`` — that output belongs
+    to the observability layer.
+
+    A ``print`` buried in the simulator corrupts every consumer that
+    composes it: it interleaves with worker-pool output nondeterminist-
+    ically, breaks ``repro report --output -`` (whose stdout *is* the
+    artifact), and is invisible to the metrics/trace layers that
+    reports aggregate.  Emit a trace event, bump a metric, or return
+    the value instead; only the CLI modules own the console.
+    """
+
+    rule_id = "REP006"
+    title = "print() in library code"
+    autofix_hint = ("emit a repro.obs trace event / metric (or return "
+                    "the data) and let the CLI layer print")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        path = ctx.posix_path
+        if "repro/" not in path or "tests/" in path:
+            return
+        if path.endswith(_PRINT_ALLOWED_SUFFIXES):
+            return
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"):
+                yield self.finding(
+                    ctx, node,
+                    "print() in library code bypasses the "
+                    "observability layer")
+
+
 #: The rule registry, in ID order.  ``repro lint --list-rules`` renders
 #: this table.
 RULES: Tuple[Rule, ...] = (
@@ -681,4 +727,5 @@ RULES: Tuple[Rule, ...] = (
     UnitSuffixRule(),
     MutableDefaultRule(),
     FrozenMutationRule(),
+    LibraryPrintRule(),
 )

@@ -23,6 +23,7 @@ from .analysis import lint as analysis_lint
 from .core.mapping import MappingKind
 from .core.policies import (ALUPolicy, IssueQueuePolicy, RegFilePolicy,
                             TechniqueConfig)
+from .obs import report as obs_report
 from .sim.checkpoint import CheckpointStore
 from .sim.experiments import (alu_experiment, issue_queue_experiment,
                               regfile_experiment)
@@ -64,8 +65,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         techniques=techniques,
         max_cycles=args.cycles,
         seed=args.seed,
-        sanitize=args.sanitize)
-    result = run_simulation(config)
+        sanitize=args.sanitize,
+        trace_events=bool(args.trace or args.trace_out))
+    simulator = Simulator(config)
+    result = simulator.run()
     print(f"benchmark:      {result.benchmark}")
     print(f"techniques:     {config.label()}")
     print(f"IPC:            {result.ipc:.3f}")
@@ -79,6 +82,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print("hottest blocks (mean K / max K):")
     for name, mean in hottest:
         print(f"  {name:10s} {mean:7.2f} / {result.max_temps[name]:7.2f}")
+    collector = simulator.collector
+    if collector is not None:
+        print(f"trace:          {collector.summary()}")
+        if args.trace_out:
+            count = collector.export_jsonl(args.trace_out)
+            print(f"trace written:  {count} event(s) to {args.trace_out}")
     return 0
 
 
@@ -105,6 +114,39 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     print(f"\n[{stats.total} runs: {stats.cache_hits} cached, "
           f"{stats.parallel_runs} parallel, {stats.inline_runs} inline; "
           f"jobs={engine.jobs}]")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Render the figure grids as a Markdown or HTML report.
+
+    Runs go through the caching engine, so a report over cached grids
+    re-renders without simulating; pass ``--output -`` to print to
+    stdout instead of writing a file.
+    """
+    figures = [f.strip() for f in args.figures.split(",") if f.strip()]
+    for figure in figures:
+        if figure not in obs_report.FIGURES:
+            raise SystemExit(f"unknown figure {figure!r}; choose from "
+                             f"{sorted(obs_report.FIGURES)}")
+    benchmarks = (_parse_benchmarks(args.benchmarks)
+                  if args.benchmarks else None)
+    engine = ExperimentEngine(jobs=args.jobs)
+    report = obs_report.generate(
+        figures=figures, benchmarks=benchmarks, max_cycles=args.cycles,
+        seed=args.seed, engine=engine)
+    rendered = (report.to_html() if args.format == "html"
+                else report.to_markdown())
+    if args.output == "-":
+        print(rendered, end="")
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        stats = engine.stats
+        print(f"report written to {args.output} "
+              f"[{stats.total} runs: {stats.cache_hits} cached, "
+              f"{stats.parallel_runs} parallel, "
+              f"{stats.inline_runs} inline]")
     return 0
 
 
@@ -294,6 +336,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--sanitize", action="store_true",
                        help="install runtime invariant checks "
                             "(see repro.analysis.sanitize)")
+    run_p.add_argument("--trace", action="store_true",
+                       help="collect cycle-stamped DTM events and "
+                            "print a per-kind summary")
+    run_p.add_argument("--trace-out", default="", metavar="PATH",
+                       help="write collected events as JSON Lines to "
+                            "PATH (implies --trace)")
     run_p.set_defaults(func=_cmd_run)
 
     fig_p = sub.add_parser("figure",
@@ -329,6 +377,28 @@ def build_parser() -> argparse.ArgumentParser:
                               "BENCH_parallel.json)")
     bench_p.set_defaults(func=_cmd_bench)
 
+    report_p = sub.add_parser(
+        "report", help="render the figure grids as a Markdown or HTML "
+                       "report (cached results re-render without "
+                       "re-simulating)")
+    report_p.add_argument("--figures", default="6,7,8",
+                          help="comma-separated figure numbers "
+                               "(default: 6,7,8)")
+    report_p.add_argument("--benchmarks", default="",
+                          help="comma-separated subset (default: all 22)")
+    report_p.add_argument("--cycles", type=int, default=100_000)
+    report_p.add_argument("--seed", type=int, default=1)
+    report_p.add_argument("--jobs", type=int, default=None,
+                          help="worker processes (default: REPRO_JOBS "
+                               "or all cores; 1 = inline)")
+    report_p.add_argument("--format", default="md",
+                          choices=("md", "html"),
+                          help="output format (default: md)")
+    report_p.add_argument("--output", default="REPORT.md",
+                          help="output path, or '-' for stdout "
+                               "(default: REPORT.md)")
+    report_p.set_defaults(func=_cmd_report)
+
     cache_p = sub.add_parser(
         "cache", help="inspect or clear the on-disk result and "
                       "checkpoint caches")
@@ -354,7 +424,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile_p.set_defaults(func=_cmd_profile)
 
     lint_p = sub.add_parser(
-        "lint", help="run repro-lint static analysis (REP001-REP005)",
+        "lint", help="run repro-lint static analysis (REP001-REP006)",
         add_help=False)
     lint_p.add_argument("lint_args", nargs=argparse.REMAINDER,
                         help="arguments for repro.analysis.lint "

@@ -33,9 +33,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Tuple
+from typing import TYPE_CHECKING, Deque, List, Optional, Tuple
 
 from ..pipeline.issue_queue import CompactingIssueQueue, QueueMode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.collector import QueueTracer
 
 
 @dataclass
@@ -54,7 +57,8 @@ class ActivityToggler:
     def __init__(self, queue: CompactingIssueQueue,
                  threshold_k: float = 0.5,
                  ceiling_k: float = 358.0,
-                 refractory_samples: int = 2) -> None:
+                 refractory_samples: int = 2,
+                 tracer: Optional["QueueTracer"] = None) -> None:
         if threshold_k <= 0:
             raise ValueError("threshold must be positive")
         if refractory_samples < 0:
@@ -63,6 +67,9 @@ class ActivityToggler:
         self.threshold_k = threshold_k
         self.ceiling_k = ceiling_k
         self.refractory_samples = refractory_samples
+        #: Optional :class:`~repro.obs.collector.QueueTracer`; when
+        #: set, every toggle emits a cycle-stamped ``ToggleEvent``.
+        self.tracer = tracer
         self.stats = ToggleStats()
         self._cooldown = 0
         self._last_activity = self._activity_counts()
@@ -76,12 +83,16 @@ class ActivityToggler:
         c = self.queue.counters
         return [c.counter_evals[h] + c.long_moves[h] for h in (0, 1)]
 
-    def _toggle(self, emergency: bool = False) -> bool:
+    def _toggle(self, half_temps: Tuple[float, float],
+                emergency: bool = False) -> bool:
         self.queue.toggle()
         self.stats.toggles += 1
         if emergency:
             self.stats.emergency_toggles += 1
         self._cooldown = self.refractory_samples
+        if self.tracer is not None:
+            self.tracer.toggled(self.queue.mode.name.lower(),
+                                half_temps, emergency)
         return True
 
     def observe(self, half_temps: Tuple[float, float]) -> bool:
@@ -131,7 +142,7 @@ class ActivityToggler:
         # whipsawing queue settles in the conventional configuration.
         if (self.queue.mode is QueueMode.TOGGLED
                 and (len(self.queue) > mid - 4 or wire_activity > 20)):
-            self._toggle()
+            self._toggle(half_temps)
             self._cooldown = 3 * self.refractory_samples
             return True
 
@@ -147,4 +158,4 @@ class ActivityToggler:
             # and throttling dispatch while the relabelled tail drifts
             # back down.
             return False
-        return self._toggle()
+        return self._toggle(half_temps)

@@ -18,8 +18,10 @@ spatial techniques can absorb:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional, Set, Tuple
 
+from ..obs.collector import QueueTracer, TraceCollector, UnitTracer
+from ..obs.events import CoreResume, ThermalCeilingCross
 from ..pipeline.config import ThermalConfig
 from ..pipeline.processor import Processor
 from ..thermal.floorplan import (FP_ADD_BLOCKS, FP_QUEUE_BLOCKS,
@@ -53,25 +55,41 @@ class ThermalManager:
 
     def __init__(self, processor: Processor, sensors: SensorBank,
                  thermal_config: ThermalConfig,
-                 techniques: TechniqueConfig) -> None:
+                 techniques: TechniqueConfig,
+                 collector: Optional[TraceCollector] = None) -> None:
         self.processor = processor
         self.sensors = sensors
         self.config = thermal_config
         self.techniques = techniques
         self.stats = DTMStats()
+        #: Event sink (None = tracing off; every emission site below
+        #: degrades to a single ``is not None`` check).
+        self.collector = collector
+        #: Blocks currently sensed at/above the ceiling, for
+        #: crossing-edge detection (membership checks only — never
+        #: iterated, so no hash-order dependence).
+        self._above_ceiling: Set[str] = set()
+        #: Reason/kind of the stall or throttle whose resume event is
+        #: still owed (None when the core runs free).
+        self._pending_resume: Optional[Tuple[str, str, int]] = None
 
         tmax = thermal_config.max_temperature_k
         hyst = thermal_config.turnoff_hysteresis_k
+        clock = self._clock
 
         self.int_toggler: Optional[ActivityToggler] = None
         self.fp_toggler: Optional[ActivityToggler] = None
         if techniques.issue_queue is IssueQueuePolicy.ACTIVITY_TOGGLING:
             self.int_toggler = ActivityToggler(
                 processor.int_iq, thermal_config.toggle_threshold_k,
-                ceiling_k=tmax)
+                ceiling_k=tmax,
+                tracer=(QueueTracer(collector, "IntQ", clock)
+                        if collector is not None else None))
             self.fp_toggler = ActivityToggler(
                 processor.fp_iq, thermal_config.toggle_threshold_k,
-                ceiling_k=tmax)
+                ceiling_k=tmax,
+                tracer=(QueueTracer(collector, "FPQ", clock)
+                        if collector is not None else None))
 
         self.alu_controller: Optional[FineGrainController] = None
         self.fp_adder_controller: Optional[FineGrainController] = None
@@ -79,11 +97,15 @@ class ThermalManager:
             self.alu_controller = FineGrainController(
                 len(INT_ALU_BLOCKS), tmax, hyst,
                 turn_off=lambda i: processor.set_alu_busy(i, True),
-                turn_on=lambda i: processor.set_alu_busy(i, False))
+                turn_on=lambda i: processor.set_alu_busy(i, False),
+                tracer=(UnitTracer(collector, INT_ALU_BLOCKS, clock)
+                        if collector is not None else None))
             self.fp_adder_controller = FineGrainController(
                 len(FP_ADD_BLOCKS), tmax, hyst,
                 turn_off=lambda i: processor.set_fp_adder_busy(i, True),
-                turn_on=lambda i: processor.set_fp_adder_busy(i, False))
+                turn_on=lambda i: processor.set_fp_adder_busy(i, False),
+                tracer=(UnitTracer(collector, FP_ADD_BLOCKS, clock)
+                        if collector is not None else None))
 
         self.rf_controller: Optional[FineGrainController] = None
         if (techniques.regfile.fine_grain_turnoff
@@ -92,11 +114,17 @@ class ThermalManager:
                 processor.regfile.n_copies,
                 tmax - thermal_config.rf_turnoff_margin_k, hyst,
                 turn_off=processor.turn_off_regfile_copy,
-                turn_on=processor.turn_on_regfile_copy)
+                turn_on=processor.turn_on_regfile_copy,
+                tracer=(UnitTracer(collector, INT_REG_BLOCKS, clock)
+                        if collector is not None else None))
 
         self._handled = set(INT_QUEUE_BLOCKS) | set(FP_QUEUE_BLOCKS)
         self._handled |= set(INT_ALU_BLOCKS) | set(FP_ADD_BLOCKS)
         self._handled |= set(INT_REG_BLOCKS)
+
+    def _clock(self) -> int:
+        """Cycle stamp for emitted events (the processor's counter)."""
+        return self.processor.now
 
     # ------------------------------------------------------------------
     def on_sample(self, processor: Processor) -> None:
@@ -107,6 +135,8 @@ class ThermalManager:
         tmax = self.config.max_temperature_k
         temps = self.sensors.read_all()
         already_stalled = processor.is_stalled
+        if self.collector is not None:
+            self._trace_sample(temps, tmax, already_stalled)
 
         # --- issue queues -------------------------------------------------
         int_halves = (temps["IntQ0"], temps["IntQ1"])
@@ -150,6 +180,36 @@ class ThermalManager:
                 self._stall(processor, f"other:{name}", already_stalled)
                 break
 
+    def _trace_sample(self, temps: Dict[str, float], tmax: float,
+                      already_stalled: bool) -> None:
+        """Emit sample-edge events: owed resumes and ceiling crossings.
+
+        Resume events are detected *lazily* — the stall's end cycle is
+        known when the stall starts, but emitting the resume eagerly
+        would put a future-stamped event ahead of any ceiling
+        crossings that happen during the stall, breaking the buffer's
+        chronological order.  Instead the first sample after the core
+        runs free emits the event stamped with the true resume cycle.
+        """
+        collector = self.collector
+        pending = self._pending_resume
+        if pending is not None:
+            reason, temporal, until = pending
+            if self.processor.now >= until:
+                collector.emit(CoreResume(cycle=until, reason=reason,
+                                          temporal=temporal))
+                self._pending_resume = None
+        now = self.processor.now
+        for name, temp in temps.items():
+            if temp >= tmax:
+                if name not in self._above_ceiling:
+                    self._above_ceiling.add(name)
+                    collector.emit(ThermalCeilingCross(
+                        cycle=now, block=name, temperature_k=float(temp),
+                        ceiling_k=tmax))
+            else:
+                self._above_ceiling.discard(name)
+
     def _stall(self, processor: Processor, reason: str,
                already_stalled: bool) -> None:
         if already_stalled or processor.is_stalled:
@@ -159,7 +219,13 @@ class ThermalManager:
                 return
             # Half duty cycle halves the dynamic power, so cooling to
             # the same temperature takes about twice as long.
-            processor.throttle(2 * self.config.cooling_cycles)
+            processor.throttle(2 * self.config.cooling_cycles, reason)
+            if self.collector is not None:
+                self._pending_resume = (reason, "throttle",
+                                        processor.throttled_until)
         else:
-            processor.global_stall(self.config.cooling_cycles)
+            processor.global_stall(self.config.cooling_cycles, reason)
+            if self.collector is not None:
+                self._pending_resume = (reason, "stall",
+                                        processor.stalled_until)
         self.stats.record_stall(reason)

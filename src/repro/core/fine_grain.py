@@ -19,7 +19,10 @@ below its trigger temperature.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.collector import UnitTracer
 
 
 @dataclass
@@ -48,12 +51,18 @@ class FineGrainController:
     turn_off / turn_on:
         Callbacks receiving the copy index (e.g. mark an ALU busy, or
         disable a register-file copy and busy its mapped ALUs).
+    tracer:
+        Optional :class:`~repro.obs.collector.UnitTracer`; when set,
+        every on/off transition emits a cycle-stamped
+        ``UnitTurnoff``/``UnitTurnon`` event.  ``None`` (the default)
+        keeps the observe loop free of tracing work.
     """
 
     def __init__(self, n_copies: int, trigger_k: float,
                  hysteresis_k: float,
                  turn_off: Callable[[int], None],
-                 turn_on: Callable[[int], None]) -> None:
+                 turn_on: Callable[[int], None],
+                 tracer: Optional["UnitTracer"] = None) -> None:
         if n_copies < 1:
             raise ValueError("need at least one copy")
         if hysteresis_k < 0:
@@ -63,6 +72,7 @@ class FineGrainController:
         self.hysteresis_k = hysteresis_k
         self._turn_off = turn_off
         self._turn_on = turn_on
+        self.tracer = tracer
         self.off = [False] * n_copies
         self.stats = TurnoffStats(per_copy=[0] * n_copies)
 
@@ -81,10 +91,14 @@ class FineGrainController:
                 self.stats.turnoff_events += 1
                 self.stats.per_copy[copy] += 1
                 self._turn_off(copy)
+                if self.tracer is not None:
+                    self.tracer.turnoff(copy, temp)
             elif self.off[copy] and temp <= self.trigger_k - self.hysteresis_k:
                 self.off[copy] = False
                 self.stats.turnon_events += 1
                 self._turn_on(copy)
+                if self.tracer is not None:
+                    self.tracer.turnon(copy, temp)
         all_off = all(self.off)
         if all_off:
             self.stats.all_off_events += 1
@@ -96,3 +110,5 @@ class FineGrainController:
             if self.off[copy]:
                 self.off[copy] = False
                 self._turn_on(copy)
+                if self.tracer is not None:
+                    self.tracer.turnon(copy)

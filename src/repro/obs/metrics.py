@@ -1,0 +1,265 @@
+"""Metrics registry: counters, gauges, vectors, and histograms.
+
+Every simulation run fills a :class:`MetricsRegistry` at collection
+time (issue distribution per ALU, per-copy register-file reads,
+compaction moves per queue half, the stall-cycle breakdown) and
+serializes it into ``SimulationResult.metrics`` as a plain dict — so
+metrics survive the result cache, pickling across worker processes,
+and JSON export unchanged.
+
+Aggregation is first-class: :meth:`MetricsRegistry.merge_dict` folds
+one run's serialized metrics into a fleet-level registry with
+per-kind semantics —
+
+* **counter** — sums (total toggles across a grid),
+* **gauge** — keeps the maximum (fleet peak temperature),
+* **vector** — element-wise sum, right-padding with zeros when runs
+  disagree on length (per-ALU ops across heterogeneous configs),
+* **histogram** — adds bucket counts (bounds must match).
+
+:class:`~repro.sim.parallel.ExperimentEngine` merges every result it
+returns (fresh, parallel, or cache-hit) into
+``EngineStats.fleet_metrics``, so a parallel grid reports the same
+fleet totals regardless of worker count or cache state.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["Metric", "Counter", "Gauge", "VectorCounter", "Histogram",
+           "MetricsRegistry"]
+
+Number = float
+
+
+class Metric:
+    """Base metric: a named value with kind-specific merge semantics."""
+
+    kind: str = "metric"
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def to_dict(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def merge_payload(self, payload: Dict[str, Any]) -> None:
+        """Fold one serialized instance of this metric into self."""
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """Monotonic scalar; merge sums."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, value: Number = 0) -> None:
+        super().__init__(name)
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+    def merge_payload(self, payload: Dict[str, Any]) -> None:
+        self.value += payload["value"]
+
+
+class Gauge(Metric):
+    """Point-in-time scalar; merge keeps the maximum (peak semantics)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, value: Optional[Number] = None) -> None:
+        super().__init__(name)
+        self.value = value
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+    def merge_payload(self, payload: Dict[str, Any]) -> None:
+        other = payload["value"]
+        if other is None:
+            return
+        self.value = other if self.value is None else max(self.value, other)
+
+
+class VectorCounter(Metric):
+    """Per-index counters (one slot per ALU / copy / queue half);
+    merge is element-wise sum, zero-padded to the longer vector."""
+
+    kind = "vector"
+
+    def __init__(self, name: str,
+                 values: Optional[Sequence[Number]] = None) -> None:
+        super().__init__(name)
+        self.values: List[Number] = list(values or [])
+
+    def add(self, index: int, amount: Number = 1) -> None:
+        if index < 0:
+            raise IndexError("vector index must be non-negative")
+        while len(self.values) <= index:
+            self.values.append(0)
+        self.values[index] += amount
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "values": list(self.values)}
+
+    def merge_payload(self, payload: Dict[str, Any]) -> None:
+        other = payload["values"]
+        while len(self.values) < len(other):
+            self.values.append(0)
+        for i, value in enumerate(other):
+            self.values[i] += value
+
+
+class Histogram(Metric):
+    """Fixed-bucket histogram: ``bounds`` are inclusive upper edges,
+    with an implicit overflow bucket; merge adds counts."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, bounds: Sequence[Number],
+                 counts: Optional[Sequence[int]] = None,
+                 total: Number = 0.0, count: int = 0) -> None:
+        super().__init__(name)
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("bounds must be a non-empty ascending list")
+        self.bounds: Tuple[Number, ...] = tuple(bounds)
+        self.counts: List[int] = (list(counts) if counts is not None
+                                  else [0] * (len(self.bounds) + 1))
+        if len(self.counts) != len(self.bounds) + 1:
+            raise ValueError("need len(bounds) + 1 buckets")
+        self.total = total
+        self.count = count
+
+    def observe(self, value: Number) -> None:
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "bounds": list(self.bounds),
+                "counts": list(self.counts), "total": self.total,
+                "count": self.count}
+
+    def merge_payload(self, payload: Dict[str, Any]) -> None:
+        if tuple(payload["bounds"]) != self.bounds:
+            raise ValueError(
+                f"histogram '{self.name}' bucket bounds disagree")
+        for i, value in enumerate(payload["counts"]):
+            self.counts[i] += value
+        self.total += payload["total"]
+        self.count += payload["count"]
+
+
+_KINDS: Dict[str, type] = {cls.kind: cls for cls in
+                           (Counter, Gauge, VectorCounter, Histogram)}
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create accessors and dict round-trip."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, cls: type, *args: Any) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, cls):
+            raise TypeError(f"metric '{name}' is a {metric.kind}, "
+                            f"not a {cls.kind}")  # type: ignore[attr-defined]
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def vector(self, name: str) -> VectorCounter:
+        return self._get_or_create(name, VectorCounter)
+
+    def histogram(self, name: str,
+                  bounds: Sequence[Number]) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = Histogram(name, bounds)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, Histogram):
+            raise TypeError(f"metric '{name}' is a {metric.kind}, "
+                            f"not a histogram")
+        return metric
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return list(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialized form (what ``SimulationResult.metrics`` holds)."""
+        return {name: metric.to_dict()
+                for name, metric in self._metrics.items()}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "MetricsRegistry":
+        registry = cls()
+        registry.merge_dict(payload)
+        return registry
+
+    def merge_dict(self, payload: Dict[str, Any]) -> None:
+        """Fold one serialized registry into this one (fleet merge)."""
+        for name, entry in payload.items():
+            kind = entry.get("kind")
+            metric_cls = _KINDS.get(kind or "")
+            if metric_cls is None:
+                raise ValueError(f"metric '{name}': unknown kind {kind!r}")
+            metric = self._metrics.get(name)
+            if metric is None:
+                if metric_cls is Histogram:
+                    metric = Histogram(name, entry["bounds"])
+                else:
+                    metric = metric_cls(name)
+                self._metrics[name] = metric
+            elif not isinstance(metric, metric_cls):
+                raise TypeError(
+                    f"metric '{name}' is a {metric.kind} here but a "
+                    f"{kind} in the merged payload")
+            metric.merge_payload(entry)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        self.merge_dict(other.to_dict())

@@ -1,0 +1,61 @@
+"""Tiny text renderers for thermal timelines.
+
+:func:`sparkline` maps a numeric series onto eight block glyphs
+(``▁▂▃▄▅▆▇█``) for one-line timelines in terminal output and Markdown
+reports; :func:`downsample` reduces a long sensor history to a fixed
+number of window means so a whole run's thermal trajectory fits in a
+result record (and therefore in the result cache, where reports read
+it back without re-simulating).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["sparkline", "downsample", "BARS"]
+
+#: Glyph ramp, coolest to hottest.
+BARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], lo: Optional[float] = None,
+              hi: Optional[float] = None) -> str:
+    """Render ``values`` as one glyph per sample.
+
+    ``lo``/``hi`` pin the scale (e.g. ambient and the thermal ceiling
+    so several timelines share one scale); they default to the series
+    min/max.  A flat series renders as all-low glyphs.
+    """
+    if not values:
+        return ""
+    low = min(values) if lo is None else lo
+    high = max(values) if hi is None else hi
+    span = high - low
+    if span <= 0:
+        return BARS[0] * len(values)
+    top = len(BARS) - 1
+    glyphs = []
+    for value in values:
+        level = int((value - low) / span * top + 0.5)
+        glyphs.append(BARS[min(max(level, 0), top)])
+    return "".join(glyphs)
+
+
+def downsample(values: Sequence[float], points: int) -> List[float]:
+    """Reduce ``values`` to at most ``points`` window means.
+
+    The stride is ``ceil(len/points)`` so every sample lands in
+    exactly one window; the final window may be shorter.  Window
+    *means* (not strided picks) keep short heat spikes visible.
+    """
+    if points < 1:
+        raise ValueError("points must be positive")
+    n = len(values)
+    if n <= points:
+        return [float(v) for v in values]
+    stride = -(-n // points)  # ceil division
+    out: List[float] = []
+    for start in range(0, n, stride):
+        window = values[start:start + stride]
+        out.append(float(sum(window)) / len(window))
+    return out

@@ -18,9 +18,11 @@ temperature sensors.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Set
+from typing import (TYPE_CHECKING, Any, Dict, Iterator, List, Optional,
+                    Sequence, Set)
 
 from ..core.mapping import PortMapping, priority_mapping
+from ..obs.events import CoreStall
 from .alu import (FP_ADD_OPCLASSES, FP_MUL_OPCLASSES,
                   FunctionalUnit, make_fp_adders, make_fp_multiplier,
                   make_int_alus)
@@ -33,6 +35,9 @@ from .issue_queue import CompactingIssueQueue, IQEntry
 from .regfile import RegisterFileBank, RenameTable
 from .rob import ActiveList, LoadStoreQueue, ROBEntry
 from .select import SelectNetwork
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.collector import TraceCollector
 
 #: Rename-table row offset for FP architectural registers.
 FP_RENAME_OFFSET = NUM_INT_ARCH_REGS
@@ -92,6 +97,10 @@ class Processor:
         self.stats = ProcessorStats()
         self.stalled_until = 0
         self.throttled_until = 0
+        #: Optional :class:`~repro.obs.collector.TraceCollector`; set by
+        #: the simulator when tracing is on.  ``None`` keeps the stall
+        #: hooks free of tracing work.
+        self.collector: Optional["TraceCollector"] = None
 
         self.fetch = FetchUnit(trace, cfg.fetch_width,
                                predictor or TracePredictor(),
@@ -134,17 +143,21 @@ class Processor:
     # ------------------------------------------------------------------
     # DTM mechanism hooks
     # ------------------------------------------------------------------
-    def global_stall(self, cycles: int) -> None:
+    def global_stall(self, cycles: int, reason: str = "") -> None:
         """Halt the whole core (temporal technique: cool-down stall)."""
         if cycles < 0:
             raise ValueError("stall length must be non-negative")
         self.stalled_until = max(self.stalled_until, self.now + cycles)
+        if self.collector is not None:
+            self.collector.emit(CoreStall(
+                cycle=self.now, reason=reason,
+                until_cycle=self.stalled_until, temporal="stall"))
 
     @property
     def is_stalled(self) -> bool:
         return self.now < self.stalled_until
 
-    def throttle(self, cycles: int) -> None:
+    def throttle(self, cycles: int, reason: str = "") -> None:
         """Duty-cycle throttling: gate fetch/dispatch/issue on alternate
         cycles for ``cycles`` cycles (a gentler temporal technique than
         the full stall — the core keeps half its throughput)."""
@@ -152,6 +165,10 @@ class Processor:
             raise ValueError("throttle length must be non-negative")
         self.throttled_until = max(self.throttled_until,
                                    self.now + cycles)
+        if self.collector is not None:
+            self.collector.emit(CoreStall(
+                cycle=self.now, reason=reason,
+                until_cycle=self.throttled_until, temporal="throttle"))
 
     @property
     def is_throttled(self) -> bool:

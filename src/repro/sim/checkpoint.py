@@ -114,10 +114,11 @@ def checkpoint_key(config: "SimulationConfig",
     """Content hash of everything the post-warm-up state depends on.
 
     Deliberately *excludes* the floorplan variant, thermal constants,
-    ``max_cycles``, the technique label, the sanitize flag, and every
-    technique field that only acts on sensor samples — so all technique
-    variants of one (benchmark, seed, processor, energy, warmup) cell
-    share a single checkpoint.  The two technique fields that *do*
+    ``max_cycles``, the technique label, the sanitize and
+    ``trace_events`` flags, and every technique field that only acts
+    on sensor samples — so all technique variants of one (benchmark,
+    seed, processor, energy, warmup) cell share a single checkpoint
+    (and traced runs reuse untraced warm state).  The two technique fields that *do*
     shape warm state are included: round-robin ALU selection (rotates
     grant priority from cycle 0) and the register-file mapping kind
     (changes per-copy read attribution in the activity snapshot).

@@ -44,12 +44,13 @@ import json
 import os
 import pickle
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
 from typing import (Callable, Dict, List, Optional, Sequence, Tuple, Union)
 
 from ..analysis.sanitize import sanitize_enabled
+from ..obs.metrics import MetricsRegistry
 from .checkpoint import (CacheInfo, CheckpointError, CheckpointStore,
                          _stable, checkpoint_key, checkpoints_enabled,
                          code_fingerprint)
@@ -277,6 +278,12 @@ class EngineStats:
     restore_s: float = 0.0
     measure_s: float = 0.0
     sample_s: float = 0.0
+    #: Fleet-level aggregation of every returned result's serialized
+    #: metrics (fresh, parallel, *and* cache-hit runs), merged with
+    #: per-kind semantics — see :class:`repro.obs.metrics.
+    #: MetricsRegistry`.  Independent of worker count or cache state.
+    fleet_metrics: MetricsRegistry = field(
+        default_factory=MetricsRegistry)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -380,6 +387,7 @@ class ExperimentEngine:
         for result in results:
             if result is None:  # pragma: no cover - engine invariant
                 raise RuntimeError("engine produced no result for a run")
+            self.stats.fleet_metrics.merge_dict(result.metrics)
             out.append(result)
         return out
 

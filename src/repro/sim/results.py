@@ -2,8 +2,26 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+def _plain(value: Any) -> Any:
+    """Coerce ``value`` to pure built-in types for JSON export.
+
+    Sensor statistics are computed with numpy, whose scalar types
+    (``np.float64``, ``np.int64``) are not JSON-serializable; ``item()``
+    unwraps them.  Containers are rebuilt recursively so nested metric
+    payloads come out clean too.
+    """
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    item = getattr(value, "item", None)
+    if item is not None and getattr(value, "shape", None) == ():
+        return item()
+    return value
 
 
 @dataclass
@@ -24,6 +42,16 @@ class SimulationResult:
     mean_temps: Dict[str, float]
     #: Maximum observed temperature per block (K).
     max_temps: Dict[str, float]
+    #: Serialized :class:`~repro.obs.metrics.MetricsRegistry` payload
+    #: (issue distribution, RF reads per copy, compaction moves, stall
+    #: breakdown).  A plain dict so results pickle/cache/JSON cleanly;
+    #: rebuild with ``MetricsRegistry.from_dict(result.metrics)``.
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Downsampled per-block thermal trajectories (K) for report
+    #: sparklines, keyed by block name.
+    timelines: Dict[str, List[float]] = field(default_factory=dict)
+    #: Cycles per timeline point (0 when no timelines were recorded).
+    timeline_interval_cycles: int = 0
 
     @property
     def ipc(self) -> float:
@@ -34,6 +62,27 @@ class SimulationResult:
 
     def max_temp(self, block: str) -> float:
         return self.max_temps[block]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe dict of every field (numpy scalars unwrapped).
+
+        Round-trips through :meth:`from_dict`:
+        ``SimulationResult.from_dict(r.to_dict()) == r``.
+        """
+        return {f.name: _plain(getattr(self, f.name))
+                for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Unknown keys are ignored so records written by newer code
+        still load; fields added after the record was written fall
+        back to their defaults.
+        """
+        names = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in names})
 
 
 def speedup(result: SimulationResult, baseline: SimulationResult) -> float:

@@ -17,12 +17,16 @@ import pickle
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from time import perf_counter
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, List, Optional
 
 from ..analysis.sanitize import Sanitizer, sanitize_enabled
 from ..core.dtm import ThermalManager
 from ..core.mapping import make_mapping
 from ..core.policies import TechniqueConfig
+from ..obs.collector import TraceCollector, trace_enabled
+from ..obs.events import CheckpointRestore
+from ..obs.metrics import MetricsRegistry
+from ..obs.sparkline import downsample
 from ..pipeline.config import ProcessorConfig, ThermalConfig
 from ..pipeline.isa import MicroOp
 from ..pipeline.processor import Processor, ProcessorStats
@@ -38,6 +42,13 @@ from .results import SimulationResult
 #: Default run length (cycles): long enough for several heating /
 #: cooling episodes under the default thermal acceleration.
 DEFAULT_MAX_CYCLES = 120_000
+
+#: At most this many points per stored thermal timeline (window means;
+#: see :func:`repro.obs.sparkline.downsample`).
+TIMELINE_POINTS = 64
+
+#: Number of blocks whose timelines a result keeps (the hottest ones).
+TIMELINE_BLOCKS = 6
 
 
 @contextmanager
@@ -84,6 +95,15 @@ class SimulationConfig:
     #: for this run.  ``REPRO_SANITIZE=1`` in the environment enables
     #: it regardless of this flag.
     sanitize: bool = False
+    #: Collect cycle-stamped DTM events (toggles, unit turnoffs, stalls,
+    #: ceiling crossings) into a :class:`~repro.obs.collector.
+    #: TraceCollector`.  Off by default: with tracing off no collector
+    #: exists and every emission site is a single ``is not None`` check,
+    #: so results stay bit-identical and the hot path unchanged.
+    #: ``REPRO_TRACE=1`` in the environment enables it regardless of
+    #: this flag.  Excluded from the warm-checkpoint key (tracing does
+    #: not affect the warmed state); included in the result-cache key.
+    trace_events: bool = False
 
     def label(self) -> str:
         return self.technique_label or (
@@ -122,8 +142,14 @@ class Simulator:
             l1_addrs, l2_addrs = footprint()
             self.processor.memory.warm(l1_addrs, l2_addrs)
         self.sensors = SensorBank(self.thermal)
+        #: Event sink, or None when tracing is off (the default).
+        self.collector: Optional[TraceCollector] = (
+            TraceCollector() if (config.trace_events or trace_enabled())
+            else None)
+        self.processor.collector = self.collector
         self.dtm = ThermalManager(self.processor, self.sensors,
-                                  config.thermal, config.techniques)
+                                  config.thermal, config.techniques,
+                                  collector=self.collector)
         self._interval_s = (config.thermal.sensor_interval_cycles
                             * config.thermal.cycle_time_s)
         #: Wall-clock seconds per stage (``warmup_s`` or ``restore_s``,
@@ -257,6 +283,11 @@ class Simulator:
         except Exception as exc:
             raise CheckpointError(f"corrupt checkpoint: {exc!r}") from exc
         sim._warm_done = True
+        if sim.collector is not None:
+            sim.collector.emit(CheckpointRestore(
+                cycle=sim.processor.now,
+                benchmark=config.benchmark,
+                trace_position=state["trace_position"]))
         sim.stage_times["restore_s"] = perf_counter() - start
         return sim
 
@@ -271,6 +302,67 @@ class Simulator:
         self.dtm.on_sample(processor)
         self._sample_s += perf_counter() - start
 
+    def _metrics(self, max_temps: Dict[str, float]) -> MetricsRegistry:
+        """Per-run metrics, computed once at collection time.
+
+        Collection-time totals read counters the pipeline already
+        maintains, so the measured loop pays nothing for them — they
+        are populated whether or not event tracing is on.
+        """
+        registry = MetricsRegistry()
+        processor = self.processor
+        alu_ops = registry.vector("alu.ops")
+        for index, unit in enumerate(processor.int_alus):
+            alu_ops.add(index, unit.counters.ops)
+        fp_ops = registry.vector("fp_add.ops")
+        for index, unit in enumerate(processor.fp_adders):
+            fp_ops.add(index, unit.counters.ops)
+        rf_reads = registry.vector("regfile.reads")
+        rf_writes = registry.vector("regfile.writes")
+        rf = processor.regfile.counters
+        for copy in range(len(rf.reads)):
+            rf_reads.add(copy, rf.reads[copy])
+            rf_writes.add(copy, rf.writes[copy])
+        for prefix, queue in (("iq.int", processor.int_iq),
+                              ("iq.fp", processor.fp_iq)):
+            counters = queue.counters
+            moves = registry.vector(f"{prefix}.compaction_moves")
+            longs = registry.vector(f"{prefix}.long_moves")
+            for half in (0, 1):
+                moves.add(half, counters.compaction_moves[half])
+                longs.add(half, counters.long_moves[half])
+        stats = self.processor.stats
+        registry.counter("core.stall_cycles").inc(stats.stall_cycles)
+        registry.counter("core.throttled_cycles").inc(
+            stats.throttled_cycles)
+        for reason, count in self.dtm.stats.stall_reasons.items():
+            registry.counter(f"dtm.stalls.{reason}").inc(count)
+        if max_temps:
+            registry.gauge("temp.peak_k").set(max(max_temps.values()))
+            hottest = max(max_temps, key=lambda b: (max_temps[b], b))
+            ceiling = self.config.thermal.max_temperature_k
+            histogram = registry.histogram(
+                "temp.hottest_block_k",
+                bounds=[ceiling - 9.0, ceiling - 6.0, ceiling - 3.0,
+                        ceiling - 1.0, ceiling])
+            for reading in self.sensors.history(hottest):
+                histogram.observe(float(reading))
+        if self.collector is not None:
+            for kind, count in sorted(self.collector.counts.items()):
+                registry.counter(f"trace.events.{kind}").inc(count)
+            registry.counter("trace.dropped").inc(self.collector.dropped)
+        return registry
+
+    def _timelines(self, max_temps: Dict[str, float]
+                   ) -> Dict[str, List[float]]:
+        """Downsampled thermal trajectories of the hottest blocks."""
+        hottest = sorted(max_temps,
+                         key=lambda b: (-max_temps[b], b))[:TIMELINE_BLOCKS]
+        return {name: downsample([float(v) for v in
+                                  self.sensors.history(name)],
+                                 TIMELINE_POINTS)
+                for name in sorted(hottest)}
+
     def _collect(self) -> SimulationResult:
         stats = self.processor.stats
         dtm = self.dtm.stats
@@ -278,6 +370,9 @@ class Simulator:
                       for name in self.floorplan.names}
         max_temps = {name: self.sensors.maximum(name)
                      for name in self.floorplan.names}
+        samples = max((s.samples for s in self.sensors.stats.values()),
+                      default=0)
+        stride = -(-samples // TIMELINE_POINTS) if samples else 0
         return SimulationResult(
             benchmark=self.config.benchmark,
             technique_label=self.config.label(),
@@ -294,6 +389,10 @@ class Simulator:
             rf_turnoffs=dtm.rf_turnoffs,
             mean_temps=mean_temps,
             max_temps=max_temps,
+            metrics=self._metrics(max_temps).to_dict(),
+            timelines=self._timelines(max_temps),
+            timeline_interval_cycles=(
+                stride * self.config.thermal.sensor_interval_cycles),
         )
 
 

@@ -102,3 +102,11 @@ class SensorBank:
 
     def maximum(self, name: str) -> float:
         return self.stats[name].maximum
+
+    def history(self, name: str) -> np.ndarray:
+        """Every recorded reading for ``name``, oldest first (a copy).
+
+        One entry per sensing interval; the caller owns the array, so
+        downsampling or mutating it cannot disturb the running stats.
+        """
+        return self.stats[name].history()

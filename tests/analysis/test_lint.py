@@ -22,7 +22,7 @@ def rule_ids(findings):
 class TestRuleRegistry:
     def test_ids_are_stable_and_ordered(self):
         assert [r.rule_id for r in RULES] == [
-            "REP001", "REP002", "REP003", "REP004", "REP005"]
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006"]
 
     def test_every_rule_documents_itself(self):
         for rule in RULES:
@@ -223,6 +223,45 @@ class TestREP005FrozenMutation:
             "def f(cfg: RemoteCfg):\n    cfg.x = 2\n",
             extra_frozen=["RemoteCfg"])
         assert "REP005" in rule_ids(findings)
+
+
+class TestREP006LibraryPrint:
+    SOURCE = "def f(x):\n    print(x)\n    return x\n"
+
+    def test_print_in_library_module_fires(self):
+        findings = findings_for(self.SOURCE,
+                                path="src/repro/sim/runner.py")
+        assert "REP006" in rule_ids(findings)
+
+    @pytest.mark.parametrize("path", [
+        "src/repro/cli.py",
+        "src/repro/__main__.py",
+        "src/repro/analysis/lint.py",
+        "tests/sim/test_runner.py",
+        "scripts/adhoc.py",
+    ])
+    def test_cli_entry_points_and_tests_exempt(self, path):
+        findings = findings_for(self.SOURCE, path=path)
+        assert "REP006" not in rule_ids(findings)
+
+    def test_shadowed_print_is_clean(self):
+        findings = findings_for(
+            "def f(printer):\n    printer('x')\n",
+            path="src/repro/sim/runner.py")
+        assert "REP006" not in rule_ids(findings)
+
+    def test_noqa_suppresses(self):
+        report = lint_source(
+            "def f(x):\n    print(x)  # repro: noqa[REP006]\n",
+            path="src/repro/sim/runner.py")
+        assert report.ok
+        assert report.suppressed == 1
+
+    def test_hint_points_at_obs_layer(self):
+        findings = findings_for(self.SOURCE,
+                                path="src/repro/sim/runner.py")
+        rep006 = [f for f in findings if f.rule_id == "REP006"][0]
+        assert "repro.obs" in rep006.format()
 
 
 class TestSuppression:

@@ -1,0 +1,123 @@
+"""Tests for the metrics registry and its merge semantics."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               VectorCounter)
+
+
+class TestCounter:
+    def test_inc_and_merge_sums(self):
+        registry = MetricsRegistry()
+        registry.counter("toggles").inc()
+        registry.counter("toggles").inc(4)
+        other = MetricsRegistry()
+        other.counter("toggles").inc(10)
+        registry.merge(other)
+        assert registry.counter("toggles").value == 15
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_merge_keeps_maximum(self):
+        registry = MetricsRegistry()
+        registry.gauge("peak_k").set(357.0)
+        other = MetricsRegistry()
+        other.gauge("peak_k").set(358.5)
+        registry.merge(other)
+        assert registry.gauge("peak_k").value == 358.5
+        registry.merge(other)  # idempotent under re-merge of a peak
+        assert registry.gauge("peak_k").value == 358.5
+
+    def test_unset_gauge_merges_cleanly(self):
+        registry = MetricsRegistry()
+        registry.gauge("peak_k")
+        other = MetricsRegistry()
+        other.gauge("peak_k").set(10.0)
+        registry.merge(other)
+        assert registry.gauge("peak_k").value == 10.0
+        registry.merge(MetricsRegistry.from_dict(
+            {"peak_k": {"kind": "gauge", "value": None}}))
+        assert registry.gauge("peak_k").value == 10.0
+
+
+class TestVectorCounter:
+    def test_add_auto_grows(self):
+        vector = VectorCounter("alu.ops")
+        vector.add(3, 7)
+        assert vector.values == [0, 0, 0, 7]
+        with pytest.raises(IndexError):
+            vector.add(-1)
+
+    def test_merge_zero_pads_shorter(self):
+        registry = MetricsRegistry()
+        registry.vector("alu.ops").add(1, 5)  # [0, 5]
+        other = MetricsRegistry()
+        other.vector("alu.ops").add(3, 2)  # [0, 0, 0, 2]
+        registry.merge(other)
+        assert registry.vector("alu.ops").values == [0, 5, 0, 2]
+
+
+class TestHistogram:
+    def test_observe_buckets_and_mean(self):
+        histogram = Histogram("t", bounds=[350.0, 355.0, 358.0])
+        for value in (349.0, 352.0, 356.0, 359.0):
+            histogram.observe(value)
+        assert histogram.counts == [1, 1, 1, 1]
+        assert histogram.count == 4
+        assert histogram.mean == pytest.approx(354.0)
+
+    def test_merge_requires_matching_bounds(self):
+        left = Histogram("t", bounds=[1.0, 2.0])
+        left.observe(0.5)
+        right = Histogram("t", bounds=[1.0, 2.0])
+        right.observe(5.0)
+        left.merge_payload(right.to_dict())
+        assert left.counts == [1, 0, 1]
+        with pytest.raises(ValueError, match="bounds disagree"):
+            left.merge_payload(
+                Histogram("t", bounds=[1.0, 3.0]).to_dict())
+
+    def test_bounds_must_ascend(self):
+        with pytest.raises(ValueError):
+            Histogram("t", bounds=[2.0, 1.0])
+        with pytest.raises(ValueError):
+            Histogram("t", bounds=[])
+
+
+class TestMetricsRegistry:
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x", bounds=[1.0])
+
+    def test_dict_round_trip_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(3)
+        registry.gauge("b").set(7.5)
+        registry.vector("c").add(2, 9)
+        registry.histogram("d", bounds=[1.0, 2.0]).observe(1.5)
+        payload = json.loads(json.dumps(registry.to_dict()))
+        rebuilt = MetricsRegistry.from_dict(payload)
+        assert rebuilt.to_dict() == registry.to_dict()
+        assert set(rebuilt.names()) == {"a", "b", "c", "d"}
+        assert "a" in rebuilt and len(rebuilt) == 4
+
+    def test_merge_dict_rejects_unknown_kind(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="unknown kind"):
+            registry.merge_dict({"x": {"kind": "mystery", "value": 1}})
+
+    def test_merge_dict_rejects_kind_mismatch(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        with pytest.raises(TypeError):
+            registry.merge_dict({"x": {"kind": "gauge", "value": 1.0}})

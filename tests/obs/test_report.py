@@ -1,0 +1,102 @@
+"""Tests for sparklines, the report document model, and generation."""
+
+import pytest
+
+from repro.obs.report import Report, generate
+from repro.obs.sparkline import BARS, downsample, sparkline
+from repro.sim.parallel import ExperimentEngine, ResultCache
+
+
+class TestSparkline:
+    def test_maps_extremes_to_first_and_last_glyph(self):
+        text = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert len(text) == 4
+        assert text[0] == BARS[0]
+        assert text[-1] == BARS[-1]
+
+    def test_flat_series_renders_low(self):
+        assert sparkline([5.0, 5.0, 5.0]) == BARS[0] * 3
+
+    def test_pinned_scale_clamps(self):
+        text = sparkline([0.0, 10.0], lo=2.0, hi=4.0)
+        assert text == BARS[0] + BARS[-1]
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestDownsample:
+    def test_short_series_passes_through(self):
+        assert downsample([1, 2, 3], 8) == [1.0, 2.0, 3.0]
+
+    def test_window_means(self):
+        assert downsample([0.0, 2.0, 4.0, 6.0], 2) == [1.0, 5.0]
+
+    def test_bounded_length(self):
+        out = downsample(list(range(1000)), 64)
+        assert len(out) <= 64
+
+    def test_points_must_be_positive(self):
+        with pytest.raises(ValueError):
+            downsample([1.0], 0)
+
+
+class TestReportDocument:
+    def _sample(self):
+        report = Report("Title")
+        report.heading(2, "Section")
+        report.paragraph("Some prose & <markup>.")
+        report.table(("a", "b"), [(1, 2.5), ("x", "y")])
+        report.pre("line1\nline2")
+        return report
+
+    def test_markdown_rendering(self):
+        text = self._sample().to_markdown()
+        assert "# Title" in text
+        assert "## Section" in text
+        assert "| a | b |" in text
+        assert "| 1 | 2.500 |" in text
+        assert "```\nline1\nline2\n```" in text
+
+    def test_html_rendering_escapes(self):
+        text = self._sample().to_html()
+        assert "<h1>Title</h1>" in text
+        assert "&amp; &lt;markup&gt;" in text
+        assert "<td>2.500</td>" in text
+        assert "<pre>line1\nline2</pre>" in text
+
+
+class TestGenerate:
+    def _engine(self, tmp_path):
+        return ExperimentEngine(jobs=1,
+                                cache=ResultCache(tmp_path / "cache"))
+
+    def test_report_covers_requested_figures(self, tmp_path):
+        engine = self._engine(tmp_path)
+        report = generate(figures=("7",), benchmarks=("parser",),
+                          max_cycles=3_000, engine=engine)
+        text = report.to_markdown()
+        assert "Figure 7" in text
+        assert "parser" in text
+        assert "Thermal timelines" in text
+        assert "Run accounting" in text
+
+    def test_cached_results_rerender_without_simulating(self, tmp_path):
+        cold = self._engine(tmp_path)
+        first = generate(figures=("7",), benchmarks=("parser",),
+                         max_cycles=3_000, engine=cold).to_markdown()
+        warm = self._engine(tmp_path)
+        second = generate(figures=("7",), benchmarks=("parser",),
+                          max_cycles=3_000, engine=warm).to_markdown()
+        assert warm.stats.total == warm.stats.cache_hits > 0
+        assert warm.stats.inline_runs == warm.stats.parallel_runs == 0
+        # identical figures, cached or not; only the accounting line
+        # (which reports where answers came from) may differ
+        def _body(text):
+            return [line for line in text.splitlines()
+                    if "answered from cache" not in line]
+        assert _body(second) == _body(first)
+
+    def test_unknown_figure_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown figures"):
+            generate(figures=("9",), engine=self._engine(tmp_path))

@@ -1,5 +1,8 @@
 """Tests for result records and formatting."""
 
+import json
+
+import numpy as np
 import pytest
 
 from repro.sim.results import (SimulationResult, format_table,
@@ -30,6 +33,32 @@ class TestSimulationResult:
         r = result()
         assert r.mean_temp("IntQ0") == pytest.approx(350.0)
         assert r.max_temp("IntQ0") == pytest.approx(355.0)
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        original = result(metrics={"core.stall_cycles":
+                                   {"kind": "counter", "value": 7}},
+                          timelines={"IntQ0": [350.0, 351.0]},
+                          timeline_interval_cycles=250)
+        payload = original.to_dict()
+        assert SimulationResult.from_dict(payload) == original
+
+    def test_to_dict_is_json_safe_with_numpy_values(self):
+        original = result(
+            mean_temps={"IntQ0": np.float64(350.5)},
+            max_temps={"IntQ0": np.float64(355.5)},
+            timelines={"IntQ0": [np.float64(350.0)]})
+        payload = json.loads(json.dumps(original.to_dict()))
+        assert payload["mean_temps"]["IntQ0"] == 350.5
+        assert payload["timelines"]["IntQ0"] == [350.0]
+        restored = SimulationResult.from_dict(payload)
+        assert restored.max_temp("IntQ0") == 355.5
+
+    def test_from_dict_ignores_unknown_keys(self):
+        payload = result().to_dict()
+        payload["added_in_a_future_version"] = True
+        assert SimulationResult.from_dict(payload) == result()
 
 
 class TestSpeedupMath:

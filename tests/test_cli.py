@@ -1,8 +1,19 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs.events import event_from_dict
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    """Point the on-disk result/checkpoint cache at a throwaway dir."""
+    root = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+    return root
 
 
 class TestCLI:
@@ -37,3 +48,93 @@ class TestCLI:
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+
+class TestRunTracing:
+    def test_trace_prints_summary(self, capsys):
+        code = main(["run", "perlbmk", "--variant", "alu",
+                     "--alus", "fine_grain", "--cycles", "5000",
+                     "--trace"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out
+
+    def test_trace_out_writes_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        code = main(["run", "perlbmk", "--variant", "alu",
+                     "--alus", "fine_grain", "--cycles", "20000",
+                     "--trace-out", str(path)])
+        assert code == 0
+        assert "trace written:" in capsys.readouterr().out
+        events = [event_from_dict(json.loads(line))
+                  for line in path.read_text().splitlines()]
+        assert events
+        assert {event.kind for event in events} >= {"ceiling_cross"}
+
+    def test_untraced_run_prints_no_trace_line(self, capsys):
+        assert main(["run", "gzip", "--cycles", "2000"]) == 0
+        assert "trace:" not in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_profile_smoke(self, capsys):
+        code = main(["profile", "gzip", "--cycles", "2000",
+                     "--warmup", "1000", "--top", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "stage wall-clock breakdown" in out
+
+
+class TestCache:
+    def test_info_empty(self, cache_dir, capsys):
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "results:     0 entries" in out
+        assert "checkpoints: 0 entries" in out
+
+    def test_clear_after_figure_run(self, cache_dir, capsys):
+        assert main(["figure", "7", "--benchmarks", "parser",
+                     "--cycles", "2000"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info"]) == 0
+        assert "results:     0 entries" not in capsys.readouterr().out
+        assert main(["cache", "clear", "--checkpoints"]) == 0
+        assert "checkpoint(s)" in capsys.readouterr().out
+        assert main(["cache", "clear"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info"]) == 0
+        assert "results:     0 entries" in capsys.readouterr().out
+
+
+class TestReport:
+    ARGS = ["report", "--figures", "7", "--benchmarks", "parser",
+            "--cycles", "2000"]
+
+    def test_markdown_to_stdout(self, cache_dir, capsys):
+        assert main(self.ARGS + ["--output", "-"]) == 0
+        out = capsys.readouterr().out
+        assert "# Reproduction report" in out
+        assert "Figure 7" in out
+
+    def test_writes_file_and_reports_cache_use(self, cache_dir,
+                                               tmp_path, capsys):
+        target = tmp_path / "REPORT.md"
+        assert main(self.ARGS + ["--output", str(target)]) == 0
+        assert "report written to" in capsys.readouterr().out
+        assert "Figure 7" in target.read_text()
+        # second render answers from cache
+        assert main(self.ARGS + ["--output", str(target)]) == 0
+        assert "0 parallel, 0 inline" in capsys.readouterr().out
+
+    def test_html_format(self, cache_dir, tmp_path):
+        target = tmp_path / "report.html"
+        assert main(self.ARGS + ["--format", "html",
+                                 "--output", str(target)]) == 0
+        text = target.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert "<h2>Figure 7" in text
+
+    def test_unknown_figure_rejected(self, cache_dir):
+        with pytest.raises(SystemExit):
+            main(["report", "--figures", "9", "--cycles", "2000"])

@@ -11,7 +11,7 @@ keeps those bug classes out of the tree as it grows:
 * :mod:`repro.analysis.lint` — **repro-lint**, an AST static-analysis
   pass with simulator-specific rules (``python -m repro.analysis.lint
   src/`` or ``repro lint``).  See :data:`repro.analysis.rules.RULES`
-  for the rule catalogue (REP001–REP006).
+  for the rule catalogue (REP001–REP007).
 * :mod:`repro.analysis.sanitize` — a **runtime sanitizer** of cheap
   cross-substrate invariants (energy conservation, temperature bounds,
   queue occupancy, register-file mapping coherence, no issue to

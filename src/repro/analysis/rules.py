@@ -1,4 +1,4 @@
-"""repro-lint rule catalogue (REP001–REP006).
+"""repro-lint rule catalogue (REP001–REP007).
 
 Every rule is a subclass of :class:`Rule` with a stable ``rule_id``,
 a one-line ``title``, an ``autofix_hint`` explaining the sanctioned
@@ -719,6 +719,137 @@ class LibraryPrintRule(Rule):
                     "observability layer")
 
 
+# ---------------------------------------------------------------------------
+# REP007 — hot-loop discipline
+# ---------------------------------------------------------------------------
+
+#: Marker comment declaring that a function runs on the per-cycle
+#: measurement path.  Placed on the ``def`` line or the line above it.
+_HOT_LOOP_MARKER = "repro: hot-loop"
+
+#: Builtin constructors whose call allocates a fresh container.
+_CONTAINER_BUILTINS = {"list", "dict", "set", "tuple", "bytearray", "deque"}
+
+#: How many loads of one ``self.x.y`` chain a hot function may make
+#: before REP007 asks for a hoisted local.
+_CHAIN_THRESHOLD = 3
+
+
+def _dotted_chain(node: ast.Attribute) -> Optional[str]:
+    """``self.a.b`` -> ``"self.a.b"``; None if not rooted at a Name."""
+    parts: List[str] = []
+    cur: ast.AST = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class HotLoopDisciplineRule(Rule):
+    """REP007: functions marked ``# repro: hot-loop`` run once per
+    simulated cycle — they must not allocate throwaway containers or
+    re-walk the same ``self.x.y`` attribute chain.
+
+    The macro-step kernel (:mod:`repro.pipeline.kernel`) exists because
+    per-cycle interpreter overhead dominates a run; this rule keeps
+    that overhead from creeping back into the per-cycle path.  Two
+    checks, scoped to marked functions only:
+
+    * **allocation** — a container display, comprehension, or
+      ``list()/dict()/set()/tuple()`` call anywhere in the function
+      body is one allocation per simulated cycle (and worse inside a
+      nested loop).  Preallocate it outside the hot path, reuse a
+      scratch buffer, or suppress with a justifying comment when the
+      allocation is the modelled work itself.
+    * **attribute chains** — loading the same two-level-or-deeper
+      ``self.x.y`` chain three or more times re-runs the descriptor
+      machinery the kernel hoists; bind it to a local once.
+
+    The marker goes on the ``def`` line or the line directly above it.
+    """
+
+    rule_id = "REP007"
+    title = "allocation / attribute churn in hot-loop function"
+    autofix_hint = ("hoist the chain into a local (or preallocate the "
+                    "container outside the per-cycle path); "
+                    "# repro: noqa[REP007] for deliberate model work")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if _HOT_LOOP_MARKER not in ctx.source:
+            return
+        lines = ctx.source.splitlines()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if not self._is_marked(node, lines):
+                continue
+            yield from self._check_allocations(ctx, node)
+            yield from self._check_chains(ctx, node)
+
+    # -- helpers --------------------------------------------------------
+    @staticmethod
+    def _is_marked(func: ast.AST, lines: List[str]) -> bool:
+        for lineno in (func.lineno, func.lineno - 1):
+            if 1 <= lineno <= len(lines) \
+                    and _HOT_LOOP_MARKER in lines[lineno - 1]:
+                return True
+        return False
+
+    def _check_allocations(self, ctx: FileContext,
+                           func: ast.AST) -> Iterator[Finding]:
+        for sub in ast.walk(func):
+            if sub is func:
+                continue
+            if isinstance(sub, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                ast.GeneratorExp)):
+                kind = "comprehension"
+            elif isinstance(sub, (ast.List, ast.Set, ast.Dict)):
+                # An empty or constant display still allocates.
+                kind = "container display"
+            elif (isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Name)
+                    and sub.func.id in _CONTAINER_BUILTINS):
+                kind = f"{sub.func.id}() call"
+            else:
+                continue
+            yield self.finding(
+                ctx, sub,
+                f"{kind} allocates once per simulated cycle in "
+                f"hot-loop function; preallocate or reuse a buffer")
+
+    def _check_chains(self, ctx: FileContext,
+                      func: ast.AST) -> Iterator[Finding]:
+        counts: Dict[str, int] = {}
+        first: Dict[str, ast.Attribute] = {}
+        stack: List[ast.AST] = [func]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Attribute):
+                path = _dotted_chain(node)
+                if path is not None:
+                    # Count only the maximal chain: do not descend, so
+                    # the ``self.a`` inside ``self.a.b`` is not double
+                    # counted.
+                    if path.count(".") >= 2 and path.startswith("self."):
+                        counts[path] = counts.get(path, 0) + 1
+                        if (path not in first
+                                or node.lineno < first[path].lineno):
+                            first[path] = node
+                    continue
+            stack.extend(ast.iter_child_nodes(node))
+        for path in sorted(counts):
+            n = counts[path]
+            if n >= _CHAIN_THRESHOLD:
+                yield self.finding(
+                    ctx, first[path],
+                    f"'{path}' walked {n} times in hot-loop function; "
+                    f"bind it to a local once")
+
+
 #: The rule registry, in ID order.  ``repro lint --list-rules`` renders
 #: this table.
 RULES: Tuple[Rule, ...] = (
@@ -728,4 +859,5 @@ RULES: Tuple[Rule, ...] = (
     MutableDefaultRule(),
     FrozenMutationRule(),
     LibraryPrintRule(),
+    HotLoopDisciplineRule(),
 )

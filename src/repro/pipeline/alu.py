@@ -10,14 +10,21 @@ occupies its unit for its latency (non-pipelined).
 
 ``busy`` is the fine-grain-turnoff hook: a busy unit refuses issue but
 keeps draining in-flight work.
+
+Activity counters live in a shared per-bank :class:`~repro.pipeline.
+soa.UnitBank` (struct-of-arrays, one slot per unit) so the macro-step
+kernel can charge a whole sensing interval with vectorized array
+updates; :class:`ALUCounters` is the per-unit view preserving the
+``unit.counters.ops`` read API.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set
 
 from .isa import DEFAULT_LATENCY, MicroOp, OpClass
+from .soa import UnitBank
 
 #: Sentinel finish cycle meaning "nothing in flight".
 _NEVER = 2 ** 62
@@ -35,13 +42,49 @@ FP_ADD_OPCLASSES: Set[OpClass] = {OpClass.FP_ADD}
 FP_MUL_OPCLASSES: Set[OpClass] = {OpClass.FP_MUL}
 
 
-@dataclass
 class ALUCounters:
-    """Cumulative per-unit activity."""
+    """Cumulative per-unit activity: a view over one slot of the
+    bank's SoA arrays (reads and writes go straight to the arrays)."""
 
-    ops: int = 0
-    busy_cycles: int = 0
-    turnoff_events: int = 0
+    __slots__ = ("_bank", "_slot")
+
+    def __init__(self, bank: UnitBank, slot: int) -> None:
+        self._bank = bank
+        self._slot = slot
+
+    @property
+    def ops(self) -> int:
+        return int(self._bank.ops[self._slot])
+
+    @ops.setter
+    def ops(self, value: int) -> None:
+        self._bank.ops[self._slot] = value
+
+    @property
+    def busy_cycles(self) -> int:
+        return int(self._bank.busy_cycles[self._slot])
+
+    @busy_cycles.setter
+    def busy_cycles(self, value: int) -> None:
+        self._bank.busy_cycles[self._slot] = value
+
+    @property
+    def turnoff_events(self) -> int:
+        return int(self._bank.turnoff_events[self._slot])
+
+    @turnoff_events.setter
+    def turnoff_events(self, value: int) -> None:
+        self._bank.turnoff_events[self._slot] = value
+
+    def values(self) -> Dict[str, int]:
+        """Plain-int snapshot (checkpoint payload)."""
+        return {"ops": self.ops, "busy_cycles": self.busy_cycles,
+                "turnoff_events": self.turnoff_events}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ALUCounters(ops={self.ops}, "
+                f"busy_cycles={self.busy_cycles}, "
+                f"turnoff_events={self.turnoff_events})")
 
 
 @dataclass(slots=True)
@@ -55,12 +98,22 @@ class FunctionalUnit:
     """One execution unit; also one thermal block."""
 
     def __init__(self, index: int, opclasses: Set[OpClass],
-                 name: str) -> None:
+                 name: str, bank: Optional[UnitBank] = None,
+                 slot: Optional[int] = None) -> None:
         self.index = index
         self.opclasses = opclasses
         self.name = name
         self.busy = False  # fine-grain turnoff flag
-        self.counters = ALUCounters()
+        # Standalone units (unit tests) get a private one-slot bank;
+        # the factory functions below build shared per-bank arrays.
+        if bank is None:
+            bank = UnitBank(1)
+            slot = 0
+        self._bank = bank
+        self._slot = index if slot is None else slot
+        self.counters = ALUCounters(self._bank, self._slot)
+        #: Hot-path alias: ``start`` bumps the ops array directly.
+        self._ops_arr = bank.ops
         self._pipeline: List[_InFlight] = []
         self._blocked_until = -1
         # Earliest finish cycle in flight; lets writeback skip the
@@ -99,7 +152,7 @@ class FunctionalUnit:
         self._pipeline.append(_InFlight(op, rob_index, finish))
         if finish < self._next_finish:
             self._next_finish = finish
-        self.counters.ops += 1
+        self._ops_arr[self._slot] += 1
         return finish
 
     def drain(self, now: int) -> List[_InFlight]:
@@ -122,7 +175,7 @@ class FunctionalUnit:
         if value == self.busy:
             return
         if value:
-            self.counters.turnoff_events += 1
+            self._bank.turnoff_events[self._slot] += 1
         self.busy = value
         if self._bank_busy is not None:
             self._bank_busy[0] += 1 if value else -1
@@ -131,13 +184,17 @@ class FunctionalUnit:
     # warm-state checkpointing (repro.sim.checkpoint)
     # ------------------------------------------------------------------
     def snapshot_state(self) -> Dict[str, Any]:
-        return {"busy": self.busy, "counters": self.counters,
+        return {"busy": self.busy, "counters": self.counters.values(),
                 "pipeline": self._pipeline,
                 "blocked_until": self._blocked_until}
 
     def restore_state(self, state: Dict[str, Any]) -> None:
         self.busy = state["busy"]
-        self.counters = state["counters"]
+        values = state["counters"]
+        slot = self._slot
+        self._bank.ops[slot] = values["ops"]
+        self._bank.busy_cycles[slot] = values["busy_cycles"]
+        self._bank.turnoff_events[slot] = values["turnoff_events"]
         self._pipeline = list(state["pipeline"])
         self._blocked_until = state["blocked_until"]
         self._next_finish = min(
@@ -149,14 +206,16 @@ def make_int_alus(count: int) -> List[FunctionalUnit]:
 
     Index 0 is the highest select priority (the unit that heats first
     under the conventional policy)."""
-    return [FunctionalUnit(i, INT_OPCLASSES, f"IntExec{i}")
+    bank = UnitBank(count)
+    return [FunctionalUnit(i, INT_OPCLASSES, f"IntExec{i}", bank=bank)
             for i in range(count)]
 
 
 def make_fp_adders(count: int) -> List[FunctionalUnit]:
-    return [FunctionalUnit(i, FP_ADD_OPCLASSES, f"FPAdd{i}")
+    bank = UnitBank(count)
+    return [FunctionalUnit(i, FP_ADD_OPCLASSES, f"FPAdd{i}", bank=bank)
             for i in range(count)]
 
 
 def make_fp_multiplier() -> FunctionalUnit:
-    return FunctionalUnit(0, FP_MUL_OPCLASSES, "FPMul")
+    return FunctionalUnit(0, FP_MUL_OPCLASSES, "FPMul", bank=UnitBank(1))

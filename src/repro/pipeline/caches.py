@@ -40,24 +40,31 @@ class Cache:
         # Each set is an ordered list of tags, most recently used last.
         self._sets: List[List[int]] = [[] for _ in range(config.n_sets)]
         self._offset_bits = (config.block_bytes - 1).bit_length()
+        # Geometry constants, denormalized off the (frozen) config so
+        # the access path avoids a property evaluation per lookup.
+        self._n_sets = config.n_sets
+        self._assoc = config.assoc
 
     def _index_tag(self, addr: int) -> tuple:
         block = addr >> self._offset_bits
-        return block % self.config.n_sets, block // self.config.n_sets
+        return block % self._n_sets, block // self._n_sets
 
-    def access(self, addr: int) -> bool:
+    def access(self, addr: int) -> bool:  # repro: hot-loop
         """Access ``addr``; return True on hit.  Misses allocate."""
         if addr < 0:
             raise ValueError("negative address")
-        index, tag = self._index_tag(addr)
-        ways = self._sets[index]
-        self.stats.accesses += 1
+        block = addr >> self._offset_bits
+        n_sets = self._n_sets
+        ways = self._sets[block % n_sets]
+        tag = block // n_sets
+        stats = self.stats
+        stats.accesses += 1
         if tag in ways:
             ways.remove(tag)
             ways.append(tag)
             return True
-        self.stats.misses += 1
-        if len(ways) >= self.config.assoc:
+        stats.misses += 1
+        if len(ways) >= self._assoc:
             ways.pop(0)
         ways.append(tag)
         return False
@@ -100,16 +107,20 @@ class MemoryHierarchy:
         self.l2 = Cache(config.l2, "l2")
         self.loads = 0
         self.stores = 0
+        # Pre-summed latencies for the three load outcomes.
+        self._l1_lat = config.l1d.latency
+        self._l2_lat = config.l1d.latency + config.l2.latency
+        self._mem_lat = (config.l1d.latency + config.l2.latency
+                         + config.memory_latency)
 
-    def load_latency(self, addr: int) -> int:
+    def load_latency(self, addr: int) -> int:  # repro: hot-loop
         """Total load latency in cycles for a load to ``addr``."""
         self.loads += 1
         if self.l1d.access(addr):
-            return self.config.l1d.latency
+            return self._l1_lat
         if self.l2.access(addr):
-            return self.config.l1d.latency + self.config.l2.latency
-        return (self.config.l1d.latency + self.config.l2.latency
-                + self.config.memory_latency)
+            return self._l2_lat
+        return self._mem_lat
 
     def store(self, addr: int) -> None:
         """Record a committed store (write-allocate into L1/L2)."""

@@ -27,8 +27,13 @@ hardware proposal, only the interpretation of positions (and the select
 root's priority) changes, so instruction priorities are transiently
 stale after a toggle until the affected instructions drain.
 
-Activity is reported through :class:`IssueQueueCounters` as raw event
-counts per physical half; :mod:`repro.power` converts counts to energy.
+Activity counts live in one preallocated ``int64`` array per queue
+(struct-of-arrays; slot layout in :mod:`repro.pipeline.soa`) so the
+macro-step kernel can flush a whole interval's deltas in a few array
+adds.  ``queue.counters`` is an :class:`IssueQueueCounterView` over
+that array preserving the existing read API; boundary consumers take
+plain-int :class:`IssueQueueCounters` snapshots, and :mod:`repro.power`
+converts snapshot deltas to energy.
 """
 
 from __future__ import annotations
@@ -38,6 +43,11 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
 from .isa import MicroOp
+from .soa import (IQC_BROADCASTS, IQC_COMPACTION_MOVES_0, IQC_CYCLES,
+                  IQC_COUNTER_EVALS_0, IQC_COUNTER_EVALS_1, IQC_INSERTS,
+                  IQC_LONG_MOVES_0, IQC_MUX_SELECTS_0, IQC_OCCUPANCY_SUM,
+                  IQC_PAYLOAD_OPS, IQC_SELECT_GRANTS, IQC_TOGGLES,
+                  new_iq_counter_array)
 
 
 class QueueMode(enum.Enum):
@@ -66,8 +76,11 @@ class IQEntry:
 
 @dataclass
 class IssueQueueCounters:
-    """Cumulative activity counts, split per physical half where the
-    underlying wires live.  Index 0 is the lower physical half."""
+    """Plain-int snapshot of one queue's cumulative activity counts,
+    split per physical half where the underlying wires live.  Index 0
+    is the lower physical half.  (Live state is the SoA array behind
+    :class:`IssueQueueCounterView`; this DTO is what checkpoints and
+    the power accountant's snapshot diffs carry.)"""
 
     #: Actual entry movements (defragmentation shifts).
     compaction_moves: List[int] = field(default_factory=lambda: [0, 0])
@@ -100,6 +113,127 @@ class IssueQueueCounters:
         )
 
 
+class _HalfPair:
+    """Two-element write-through view over adjacent SoA counter slots
+    (index 0 = lower physical half).  Supports indexing, iteration, and
+    list comparison so call sites treating a per-half counter as a
+    two-element list keep working — including in-place element updates
+    (``counters.counter_evals[0] += n`` lands in the array)."""
+
+    __slots__ = ("_c", "_base")
+
+    def __init__(self, array: Any, base: int) -> None:
+        self._c = array
+        self._base = base
+
+    def __getitem__(self, index: int) -> int:
+        return int(self._c[self._base + range(2)[index]])
+
+    def __setitem__(self, index: int, value: int) -> None:
+        self._c[self._base + range(2)[index]] = value
+
+    def __len__(self) -> int:
+        return 2
+
+    def __iter__(self):
+        c, base = self._c, self._base
+        yield int(c[base])
+        yield int(c[base + 1])
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, _HalfPair):
+            other = list(other)
+        return list(self) == other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return repr(list(self))
+
+
+class IssueQueueCounterView:
+    """View over one queue's SoA counter array, exposing the same
+    attributes as :class:`IssueQueueCounters` (per-half counters come
+    back as two-element :class:`_HalfPair` write-through views)."""
+
+    __slots__ = ("_c",)
+
+    def __init__(self, array: Any) -> None:
+        self._c = array
+
+    @property
+    def compaction_moves(self) -> _HalfPair:
+        return _HalfPair(self._c, IQC_COMPACTION_MOVES_0)
+
+    @property
+    def mux_selects(self) -> _HalfPair:
+        return _HalfPair(self._c, IQC_MUX_SELECTS_0)
+
+    @property
+    def long_moves(self) -> _HalfPair:
+        return _HalfPair(self._c, IQC_LONG_MOVES_0)
+
+    @property
+    def counter_evals(self) -> _HalfPair:
+        return _HalfPair(self._c, IQC_COUNTER_EVALS_0)
+
+    @property
+    def broadcasts(self) -> int:
+        return int(self._c[IQC_BROADCASTS])
+
+    @property
+    def payload_ops(self) -> int:
+        return int(self._c[IQC_PAYLOAD_OPS])
+
+    @property
+    def select_grants(self) -> int:
+        return int(self._c[IQC_SELECT_GRANTS])
+
+    @property
+    def inserts(self) -> int:
+        return int(self._c[IQC_INSERTS])
+
+    @property
+    def cycles(self) -> int:
+        return int(self._c[IQC_CYCLES])
+
+    @property
+    def toggles(self) -> int:
+        return int(self._c[IQC_TOGGLES])
+
+    @property
+    def occupancy_sum(self) -> int:
+        return int(self._c[IQC_OCCUPANCY_SUM])
+
+    def snapshot(self) -> IssueQueueCounters:
+        """Plain-int DTO of the current counts (one array pass)."""
+        v = self._c.tolist()
+        return IssueQueueCounters(
+            v[IQC_COMPACTION_MOVES_0:IQC_COMPACTION_MOVES_0 + 2],
+            v[IQC_MUX_SELECTS_0:IQC_MUX_SELECTS_0 + 2],
+            v[IQC_LONG_MOVES_0:IQC_LONG_MOVES_0 + 2],
+            v[IQC_COUNTER_EVALS_0:IQC_COUNTER_EVALS_1 + 1],
+            v[IQC_BROADCASTS], v[IQC_PAYLOAD_OPS],
+            v[IQC_SELECT_GRANTS], v[IQC_INSERTS], v[IQC_CYCLES],
+            v[IQC_TOGGLES], v[IQC_OCCUPANCY_SUM],
+        )
+
+    def restore(self, values: IssueQueueCounters) -> None:
+        """Adopt a snapshot DTO's counts into the live array."""
+        c = self._c
+        c[IQC_COMPACTION_MOVES_0:IQC_COMPACTION_MOVES_0 + 2] = (
+            values.compaction_moves)
+        c[IQC_MUX_SELECTS_0:IQC_MUX_SELECTS_0 + 2] = values.mux_selects
+        c[IQC_LONG_MOVES_0:IQC_LONG_MOVES_0 + 2] = values.long_moves
+        c[IQC_COUNTER_EVALS_0:IQC_COUNTER_EVALS_1 + 1] = (
+            values.counter_evals)
+        c[IQC_BROADCASTS] = values.broadcasts
+        c[IQC_PAYLOAD_OPS] = values.payload_ops
+        c[IQC_SELECT_GRANTS] = values.select_grants
+        c[IQC_INSERTS] = values.inserts
+        c[IQC_CYCLES] = values.cycles
+        c[IQC_TOGGLES] = values.toggles
+        c[IQC_OCCUPANCY_SUM] = values.occupancy_sum
+
+
 class CompactingIssueQueue:
     """A compacting issue queue with activity-toggling support."""
 
@@ -115,7 +249,9 @@ class CompactingIssueQueue:
         self.replay_window = replay_window
         self.mode = QueueMode.NORMAL
         self.slots: List[Optional[IQEntry]] = [None] * n_entries
-        self.counters = IssueQueueCounters()
+        #: SoA counter storage (slot layout in repro.pipeline.soa).
+        self._c = new_iq_counter_array()
+        self.counters = IssueQueueCounterView(self._c)
         self._now = 0
         #: logical position -> physical slot, for the current mode.
         self._order: List[int] = list(range(n_entries))
@@ -205,7 +341,7 @@ class CompactingIssueQueue:
                         waiting_tags=set(waiting_tags))
         self.slots[self._order[self._top]] = entry
         self._top += 1
-        self.counters.inserts += 1
+        self._c[IQC_INSERTS] += 1
         if entry.waiting_tags:
             waiters = self._waiters
             for tag in entry.waiting_tags:
@@ -228,7 +364,7 @@ class CompactingIssueQueue:
         per-slot scan.  The broadcast *count* — what the power model
         charges — is per call, same as before.
         """
-        self.counters.broadcasts += 1
+        self._c[IQC_BROADCASTS] += 1
         entries = self._waiters.pop(tag, None)
         if entries is not None:
             for entry in entries:
@@ -262,14 +398,15 @@ class CompactingIssueQueue:
             raise RuntimeError(f"grant to non-requesting slot {phys}")
         entry.issued_at = self._now
         self._pending_removal.append(entry)
-        self.counters.select_grants += 1
-        self.counters.payload_ops += 1
+        c = self._c
+        c[IQC_SELECT_GRANTS] += 1
+        c[IQC_PAYLOAD_OPS] += 1
         return entry
 
     # ------------------------------------------------------------------
     # per-cycle maintenance
     # ------------------------------------------------------------------
-    def tick(self) -> None:
+    def tick(self) -> None:  # repro: hot-loop
         """Advance one cycle: retire replay-safe issued entries and
         compact, charging activity to the physical halves involved.
 
@@ -278,20 +415,23 @@ class CompactingIssueQueue:
         per-cycle gating charge applies from the issue cycle onward.
         """
         self._now += 1
-        counters = self.counters
-        counters.cycles += 1
-        counters.occupancy_sum += self._top - self._holes
+        c = self._c
+        c[IQC_CYCLES] += 1
+        c[IQC_OCCUPANCY_SUM] += self._top - self._holes
         if self._holes == 0 and not self._pending_removal:
             return  # fully compacted, nothing marked invalid: all gated
         self._compact()
 
-    def _compact(self) -> None:
+    def _compact(self) -> None:  # repro: hot-loop
         window = self.replay_window
         now = self._now
         order, slots = self._order, self.slots
-        counters = self.counters
-        counter_evals = counters.counter_evals
+        c = self._c
         pending = self._pending_removal
+        # Per-half event tallies accumulate in plain ints and flush to
+        # the SoA array once per call (a numpy scalar add per event
+        # would dominate this loop).
+        ce0 = ce1 = 0
         if (self._holes == 0 and pending
                 and now - pending[0].issued_at < window):
             # Dense queue and nothing expires this cycle (``pending``
@@ -305,18 +445,25 @@ class CompactingIssueQueue:
             for logical in range(self._top):
                 src_phys = order[logical]
                 if marked_below:
-                    counter_evals[0 if src_phys < mid else 1] += 1
+                    if src_phys < mid:
+                        ce0 += 1
+                    else:
+                        ce1 += 1
                 if slots[src_phys].issued_at is not None:
                     marked_below += 1
+            if ce0:
+                c[IQC_COUNTER_EVALS_0] += ce0
+            if ce1:
+                c[IQC_COUNTER_EVALS_1] += ce1
             return
-        compaction_moves = counters.compaction_moves
-        mux_selects = counters.mux_selects
+        cm0 = cm1 = mx0 = mx1 = lm0 = lm1 = 0
         compact_width = self.compact_width
         n = self.n_entries
         mid = self.mid
         toggled = self.mode is QueueMode.TOGGLED
         boundary = n - mid  # logical position living at physical slot 0
-        new_slots: List[Optional[IQEntry]] = [None] * n
+        # The rebuilt slot array IS the modelled compaction shift.
+        new_slots: List[Optional[IQEntry]] = [None] * n  # repro: noqa[REP007]
         #: slots reclaimable this cycle (holes + replay-safe entries).
         reclaimable_below = 0
         #: invalid-marked slots (holes + every issued entry): these
@@ -339,12 +486,15 @@ class CompactingIssueQueue:
                 marked_below += 1
                 removed = True
                 continue
-            src_half = 0 if src_phys < mid else 1
+            src_low = src_phys < mid
             if marked_below:
                 # Gating rules 1 and 2: an invalid entry below means
                 # this entry's data lines, mux selects, and counter
                 # stages all evaluate this cycle.
-                counter_evals[src_half] += 1
+                if src_low:
+                    ce0 += 1
+                else:
+                    ce1 += 1
             shift = reclaimable_below
             if shift > compact_width:
                 shift = compact_width
@@ -356,18 +506,43 @@ class CompactingIssueQueue:
             if issued:
                 marked_below += 1  # marked invalid while awaiting replay
             if shift:
-                dst_half = 0 if dst_phys < mid else 1
-                compaction_moves[src_half] += 1
-                mux_selects[dst_half] += 1
+                if src_low:
+                    cm0 += 1
+                else:
+                    cm1 += 1
+                if dst_phys < mid:
+                    mx0 += 1
+                else:
+                    mx1 += 1
                 if toggled and logical >= boundary > dst_logical:
-                    counters.long_moves[src_half] += 1
+                    if src_low:
+                        lm0 += 1
+                    else:
+                        lm1 += 1
         self.slots = new_slots
         self._top = top
         self._holes = top - occupied
         if removed:
-            self._pending_removal = [
+            # Replay-window expiry; runs only on removal cycles.
+            self._pending_removal = [  # repro: noqa[REP007]
                 e for e in self._pending_removal
                 if now - e.issued_at < window]
+        if ce0:
+            c[IQC_COUNTER_EVALS_0] += ce0
+        if ce1:
+            c[IQC_COUNTER_EVALS_1] += ce1
+        if cm0:
+            c[IQC_COMPACTION_MOVES_0] += cm0
+        if cm1:
+            c[IQC_COMPACTION_MOVES_0 + 1] += cm1
+        if mx0:
+            c[IQC_MUX_SELECTS_0] += mx0
+        if mx1:
+            c[IQC_MUX_SELECTS_0 + 1] += mx1
+        if lm0:
+            c[IQC_LONG_MOVES_0] += lm0
+        if lm1:
+            c[IQC_LONG_MOVES_0 + 1] += lm1
 
     # ------------------------------------------------------------------
     # activity toggling (the paper's technique)
@@ -376,7 +551,7 @@ class CompactingIssueQueue:
         """Switch head/tail configuration without moving entries."""
         self.mode = (QueueMode.TOGGLED if self.mode is QueueMode.NORMAL
                      else QueueMode.NORMAL)
-        self.counters.toggles += 1
+        self._c[IQC_TOGGLES] += 1
         self._rebuild_order()
 
     def flush(self) -> None:
@@ -399,10 +574,11 @@ class CompactingIssueQueue:
         """Live references to the queue's mutable state; the caller
         serializes them (entry identity with the ROB and functional
         units is preserved by serializing the whole processor state in
-        one pass)."""
+        one pass).  Counters are captured by value — the live SoA array
+        stays owned by this queue."""
         return {
             "slots": self.slots,
-            "counters": self.counters,
+            "counters": self.counters.snapshot(),
             "mode": self.mode,
             "now": self._now,
             "top": self._top,
@@ -414,7 +590,7 @@ class CompactingIssueQueue:
         """Adopt a deserialized :meth:`snapshot_state` payload in
         place; the wakeup waiters index is rebuilt from the entries."""
         self.slots = list(state["slots"])
-        self.counters = state["counters"]
+        self.counters.restore(state["counters"])
         self.mode = state["mode"]
         self._now = state["now"]
         self._rebuild_order()

@@ -1,0 +1,733 @@
+"""Macro-stepped execution kernel for the measurement hot path.
+
+:meth:`Processor.step` is semantically one cycle, but executing it as
+six method calls per cycle makes the Python interpreter — attribute
+lookups, argument binding, list allocations — the dominant cost of a
+run.  This module fuses the whole cycle into one loop body that runs a
+**macro-step** (one thermal sensing interval, ``sensor_interval_cycles``
+cycles) at a time:
+
+* every attribute chain the cycle body touches is hoisted into a local
+  exactly once per macro-step and flushed back when the step ends;
+* scalar counters (stats, fetch bookkeeping, issue-queue/select/regfile
+  activity) accumulate in plain locals and land in the SoA arrays
+  (:mod:`repro.pipeline.soa`) as a handful of vectorized adds per
+  macro-step instead of per-cycle attribute bumps;
+* the stall/throttle gates and the sampling countdown live *outside*
+  the per-cycle body: a fully stalled stretch is bulk-skipped in O(1),
+  and sampling reduces to slicing the run into boundary-aligned chunks.
+
+The fusion is legal because of the **macro-step contract**: everything
+the hoisted state depends on (busy flags, regfile turnoffs, queue mode,
+stall/throttle windows) is only mutated by the DTM controller, which
+runs exclusively in the ``on_sample`` boundary hook — so it is constant
+within a macro-step, and every local is re-hoisted after each boundary.
+Within a cycle the kernel preserves the reference stage order and its
+exact side-effect order (memory-hierarchy LRU touches, select-counter
+updates, wakeup broadcasts…), which is what makes the result
+bit-identical to the reference loop.
+
+``REPRO_KERNEL=0`` disables the kernel and runs the original
+per-cycle reference loop in :meth:`Processor.run`; the test suite
+asserts bit-identical ``SimulationResult`` payloads between the two
+across the full technique × floorplan matrix.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from .alu import _NEVER, _InFlight
+from .isa import DEFAULT_LATENCY, NUM_INT_ARCH_REGS, OpClass
+from .issue_queue import IQEntry
+from .rob import ROBEntry
+from .soa import (IQC_BROADCASTS, IQC_CYCLES, IQC_INSERTS,
+                  IQC_OCCUPANCY_SUM, IQC_PAYLOAD_OPS, IQC_SELECT_GRANTS)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .processor import Processor, ProcessorStats
+
+#: Rename-table row offset for FP architectural registers (mirrors
+#: ``processor.FP_RENAME_OFFSET``; duplicated to avoid a module cycle).
+_FP_OFFSET = NUM_INT_ARCH_REGS
+
+
+def kernel_enabled() -> bool:
+    """Whether ``Processor.run`` should use the macro-step kernel.
+
+    Read from the environment on every call so tests can flip
+    ``REPRO_KERNEL`` between runs without rebuilding anything.
+    """
+    return os.environ.get("REPRO_KERNEL", "1") != "0"
+
+
+def run_kernel(proc: "Processor", max_cycles: int,
+               on_sample=None, sample_interval: int = 0
+               ) -> "ProcessorStats":
+    """Drop-in replacement for the reference ``Processor.run`` loop.
+
+    Slices the run into macro-steps bounded by absolute sampling
+    boundaries (``now % sample_interval == 0``) and fires ``on_sample``
+    exactly where the reference countdown would — including after a
+    chunk whose final cycle both drains the pipeline and lands on a
+    boundary (the reference samples before its drain check).
+    """
+    sampling = bool(sample_interval) and on_sample is not None
+    remaining = max_cycles
+    while remaining > 0:
+        if sampling:
+            to_boundary = sample_interval - proc.now % sample_interval
+            chunk = to_boundary if to_boundary < remaining else remaining
+        else:
+            to_boundary = -1
+            chunk = remaining
+        ran, finished = _run_chunk(proc, chunk)
+        remaining -= ran
+        if sampling and ran == chunk and chunk == to_boundary:
+            on_sample(proc)
+        if finished:
+            break
+    return proc.stats
+
+
+def _run_chunk(proc: "Processor", n_cycles: int) -> Tuple[int, bool]:
+    """Execute up to ``n_cycles`` cycles with fully hoisted state.
+
+    Returns ``(cycles_ran, finished)`` where ``finished`` mirrors the
+    reference loop's drain break (trace exhausted, fetch buffer empty,
+    active list empty).  All mutated scalars are written back in the
+    ``finally`` block, so the processor object is consistent even if a
+    model invariant raises mid-chunk.
+    """
+    # ---- hoist: everything the cycle body touches ---------------------
+    now = proc.now
+    end = now + n_cycles
+    start_cycle = now
+    finished = False
+
+    st = proc.stats
+    st_cycles = st.cycles
+    st_committed = st.committed
+    st_stall = st.stall_cycles
+    st_throttled = st.throttled_cycles
+    st_issued = st.issued
+
+    stalled_until = proc.stalled_until
+    throttled_until = proc.throttled_until
+    commit_width = proc._commit_width
+    issue_width = proc._issue_width
+
+    rob = proc.rob
+    rob_entries = rob._entries
+    rob_capacity = rob.capacity
+    rob_head = rob._head
+    rob_tail = rob._tail
+    rob_count = rob._count
+    rob_retired = rob.retired
+
+    lsq = proc.lsq
+    lsq_count = lsq._count
+    lsq_capacity = lsq.capacity
+
+    rename = proc.rename
+    amap = rename._map
+    free_list = rename._free
+    free_pop = free_list.pop
+    free_set = rename._free_set
+    ready_set = rename._ready
+    ready_add = ready_set.add
+    ready_discard = ready_set.discard
+
+    fetch = proc.fetch
+    f_buffer = fetch.buffer
+    f_pop = f_buffer.popleft
+    f_push = f_buffer.append
+    f_capacity = fetch.buffer_capacity
+    f_width = fetch.fetch_width
+    f_fetched = fetch.fetched
+    f_exhausted = fetch.exhausted
+    f_blocking = fetch._blocking_branch
+    f_resume = fetch._resume_at
+    f_count = fetch._count_this_cycle
+    penalty = fetch.mispredict_penalty
+    trace_next = fetch.trace.__next__
+    pred_mis = fetch.predictor.mispredicted
+
+    memory = proc.memory
+    mem_load_latency = memory.load_latency
+    mem_store = memory.store
+
+    units = proc._all_units
+    n_units = len(units)
+    # Bound through the instance attribute so the sanitizer's wrapped
+    # ``unit.start`` stays on the call path.
+    int_alus = proc.int_alus
+    n_int = len(int_alus)
+    int_starts = [u.start for u in int_alus]
+    int_blocked = [u._blocked_until for u in int_alus]
+    fp_adders = proc.fp_adders
+    n_fp = len(fp_adders)
+    fp_starts = [u.start for u in fp_adders]
+    fp_mul = proc.fp_mul
+    fp_mul_start = fp_mul.start
+    mul_j = n_units - 1
+    # The sanitizer hooks ``unit.start`` as an instance attribute; when
+    # no unit is hooked, issue can build the in-flight records inline
+    # instead of paying a method call (+ numpy scalar bump) per op.
+    fast_units = True
+    for u in units:
+        if "start" in u.__dict__:
+            fast_units = False
+            break
+    # Unit execution state, hoisted: in-flight lists are mutated (and
+    # on drain, rebound) locally and written back in the flush; the
+    # next-finish sentinels let writeback skip an idle unit on one
+    # list index instead of an attribute load.
+    pipelines = [u._pipeline for u in units]
+    nf = [u._next_finish for u in units]
+    int_ops_acc = [0] * n_int
+    fp_ops_acc = [0] * n_fp
+    mul_ops_acc = 0
+    latency_of = DEFAULT_LATENCY
+    mk_inflight = _InFlight
+    # Busy flags only flip at sample boundaries and ``_blocked_until``
+    # is only written by INT_MUL issue, which FP units never execute —
+    # so the FP gating inputs are chunk-constant.
+    fp_busy_static = [u.busy for u in fp_adders]
+    fp_blocked = [u._blocked_until for u in fp_adders]
+    fpm_busy = fp_mul.busy
+    fpm_blocked = fp_mul._blocked_until
+
+    regfile = proc.regfile
+    off_set = regfile._off
+    blocked_set = regfile.blocked_alus()
+    int_busy_static = [u.busy or i in blocked_set
+                       for i, u in enumerate(int_alus)]
+    mapping = proc.mapping
+    copies_for = [mapping.copies_for(i) for i in range(n_int)]
+    n_copies = regfile.n_copies
+    rf_read_acc = [0] * n_copies
+    rf_write_events = 0
+    fp_acc = proc.fp_reg_accesses
+
+    int_iq = proc.int_iq
+    i_order = int_iq._order
+    i_now = int_iq._now
+    i_cap = int_iq.n_entries
+    int_waiters = int_iq._waiters
+    int_waiters_get = int_waiters.get
+    int_waiters_pop = int_waiters.pop
+    ic_ticks = ic_occ = ic_bcasts = ic_ins = ic_grants = 0
+
+    fp_iq = proc.fp_iq
+    fq_order = fp_iq._order
+    fq_now = fp_iq._now
+    fq_cap = fp_iq.n_entries
+    fp_waiters = fp_iq._waiters
+    fp_waiters_get = fp_waiters.get
+    fp_waiters_pop = fp_waiters.pop
+    fc_ticks = fc_occ = fc_bcasts = fc_ins = fc_grants = 0
+
+    int_sel = proc.int_select
+    int_rr = int_sel.round_robin
+    int_rr_off = int_sel._rr_offset
+    igpt = int_sel.counters.grants_per_tree
+    isc_cycles = int_sel.counters.cycles
+    isc_req = int_sel.counters.requests_seen
+    fp_sel = proc.fp_add_select
+    fp_rr = fp_sel.round_robin
+    fp_rr_off = fp_sel._rr_offset
+    fgpt = fp_sel.counters.grants_per_tree
+    fsc_cycles = fp_sel.counters.cycles
+    fsc_req = fp_sel.counters.requests_seen
+    mul_sel = proc.fp_mul_select
+    mgpt = mul_sel.counters.grants_per_tree
+    msc_cycles = mul_sel.counters.cycles
+    msc_req = mul_sel.counters.requests_seen
+
+    busy_n = proc._busy_count[0]
+    active_cycles = 0
+
+    OC_LOAD = OpClass.LOAD
+    OC_STORE = OpClass.STORE
+    OC_BRANCH = OpClass.BRANCH
+    OC_INT_MUL = OpClass.INT_MUL
+    OC_FP_ADD = OpClass.FP_ADD
+    OC_FP_MUL = OpClass.FP_MUL
+
+    try:
+        while now < end:
+            nxt = now + 1
+            if nxt < stalled_until:
+                # Global stall: the reference body only bumps the cycle
+                # and stall counters and re-checks the drain condition,
+                # and nothing inside a stalled cycle can change that
+                # condition — so the whole stalled stretch collapses.
+                if f_exhausted and rob_count == 0 and not f_buffer:
+                    now = nxt
+                    st_cycles += 1
+                    st_stall += 1
+                    finished = True
+                    break
+                last = stalled_until - 1
+                if last > end:
+                    last = end
+                n_stall = last - now
+                now = last
+                st_cycles += n_stall
+                st_stall += n_stall
+                continue
+            now = nxt
+            st_cycles += 1
+            active_cycles += 1
+
+            # ---- commit (fused ready_count + retire) -----------------
+            if rob_count:
+                n_commit = 0
+                limit = rob_count if rob_count < commit_width \
+                    else commit_width
+                pos = rob_head
+                while n_commit < limit:
+                    entry = rob_entries[pos]
+                    if entry is None or not entry.done:
+                        break
+                    op = entry.op
+                    oc = op.opclass
+                    if oc is OC_STORE:
+                        if op.mem_addr is not None:
+                            mem_store(op.mem_addr)
+                        lsq_count -= 1
+                    elif oc is OC_LOAD:
+                        lsq_count -= 1
+                    tag = entry.freed_tag
+                    if tag is not None:
+                        free_list.append(tag)
+                        free_set.add(tag)
+                        ready_discard(tag)
+                    rob_entries[pos] = None
+                    pos += 1
+                    if pos == rob_capacity:
+                        pos = 0
+                    n_commit += 1
+                if n_commit:
+                    rob_head = pos
+                    rob_count -= n_commit
+                    rob_retired += n_commit
+                    st_committed += n_commit
+
+            # ---- writeback (inlined ``FunctionalUnit.drain``) --------
+            for j in range(n_units):
+                if now < nf[j]:
+                    continue
+                remaining = []
+                next_finish = _NEVER
+                for done in pipelines[j]:
+                    fin = done.finish_cycle
+                    if fin > now:
+                        remaining.append(done)
+                        if fin < next_finish:
+                            next_finish = fin
+                        continue
+                    op = done.op
+                    entry = rob_entries[done.rob_index]
+                    entry.done = True
+                    oc = op.opclass
+                    if oc is OC_BRANCH and f_blocking == op.seq:
+                        f_blocking = None
+                        f_resume = now + penalty
+                    tag = entry.dst_tag
+                    if tag is not None:
+                        ready_add(tag)
+                        ic_bcasts += 1
+                        bucket = int_waiters_pop(tag, None)
+                        if bucket is not None:
+                            for waiter in bucket:
+                                waiter.waiting_tags.discard(tag)
+                        fc_bcasts += 1
+                        bucket = fp_waiters_pop(tag, None)
+                        if bucket is not None:
+                            for waiter in bucket:
+                                waiter.waiting_tags.discard(tag)
+                        if oc is OC_FP_ADD or oc is OC_FP_MUL:
+                            fp_acc += 1
+                        else:
+                            rf_write_events += 1
+                pipelines[j] = remaining
+                nf[j] = next_finish
+                if not fast_units:
+                    # Keep the unit's own state live so the sanitizer's
+                    # wrapped ``start`` appends to the current list.
+                    unit = units[j]
+                    unit._pipeline = remaining
+                    unit._next_finish = next_finish
+
+            if throttled_until > now and now & 1:
+                st_throttled += 1
+            else:
+                # ---- issue (fused select + grant + unit start) -------
+                budget = issue_width
+                if int_iq._top != int_iq._holes:
+                    slots = int_iq.slots
+                    ready: List[int] = [
+                        phys for phys in i_order[:int_iq._top]
+                        if (e := slots[phys]) is not None
+                        and e.issued_at is None and not e.waiting_tags]
+                    isc_cycles += 1
+                    n_ready = len(ready)
+                    isc_req += n_ready
+                    cap = budget if budget < n_ready else n_ready
+                    taken = 0
+                    if cap:
+                        i_pending = int_iq._pending_removal
+                        if int_rr:
+                            # Two-phase: the rotated serialization
+                            # assigns the grants, but the reference
+                            # processes them in ascending ALU order
+                            # (cache-touch order must match).
+                            pairs = []
+                            for k in range(n_int):
+                                if taken >= cap:
+                                    break
+                                t = (k + int_rr_off) % n_int
+                                if (int_busy_static[t]
+                                        or now < int_blocked[t]):
+                                    continue
+                                pairs.append((t, ready[taken]))
+                                igpt[t] += 1
+                                taken += 1
+                            pairs.sort()
+                        else:
+                            pairs = []
+                            for t in range(n_int):
+                                if taken >= cap:
+                                    break
+                                if (int_busy_static[t]
+                                        or now < int_blocked[t]):
+                                    continue
+                                pairs.append((t, ready[taken]))
+                                igpt[t] += 1
+                                taken += 1
+                        for t, phys in pairs:
+                            e = slots[phys]
+                            e.issued_at = i_now
+                            i_pending.append(e)
+                            ic_grants += 1
+                            op = e.op
+                            oc = op.opclass
+                            extra = 0
+                            if oc is OC_LOAD and op.mem_addr is not None:
+                                extra = mem_load_latency(op.mem_addr)
+                            n_operands = ((op.src1 is not None)
+                                          + (op.src2 is not None))
+                            ports = copies_for[t]
+                            for port in range(n_operands):
+                                copy = ports[port]
+                                if copy in off_set:
+                                    raise RuntimeError(
+                                        f"read from turned-off register-"
+                                        f"file copy {copy}; ALU {t} "
+                                        f"should have been marked busy")
+                                rf_read_acc[copy] += 1
+                            if fast_units:
+                                base = latency_of[oc]
+                                if oc is OC_INT_MUL:
+                                    int_blocked[t] = now + base
+                                fin = now + base + extra
+                                pipelines[t].append(
+                                    mk_inflight(op, e.rob_index, fin))
+                                if fin < nf[t]:
+                                    nf[t] = fin
+                                int_ops_acc[t] += 1
+                            else:
+                                int_starts[t](op, e.rob_index, now, extra)
+                                u = int_alus[t]
+                                if oc is OC_INT_MUL:
+                                    int_blocked[t] = u._blocked_until
+                                nf[t] = u._next_finish
+                            rob_entries[e.rob_index].issued = True
+                            st_issued += 1
+                        budget -= taken
+                    if int_rr:
+                        int_rr_off = (int_rr_off + 1) % n_int
+                if budget > 0 and fp_iq._top != fp_iq._holes:
+                    slots = fp_iq.slots
+                    ready = [
+                        phys for phys in fq_order[:fp_iq._top]
+                        if (e := slots[phys]) is not None
+                        and e.issued_at is None and not e.waiting_tags
+                        and e.op.opclass is OC_FP_ADD]
+                    fsc_cycles += 1
+                    n_ready = len(ready)
+                    fsc_req += n_ready
+                    cap = budget if budget < n_ready else n_ready
+                    taken = 0
+                    f_pending = fp_iq._pending_removal
+                    if cap:
+                        if fp_rr:
+                            pairs = []
+                            for k in range(n_fp):
+                                if taken >= cap:
+                                    break
+                                t = (k + fp_rr_off) % n_fp
+                                if (fp_busy_static[t]
+                                        or now < fp_blocked[t]):
+                                    continue
+                                pairs.append((t, ready[taken]))
+                                fgpt[t] += 1
+                                taken += 1
+                            pairs.sort()
+                        else:
+                            pairs = []
+                            for t in range(n_fp):
+                                if taken >= cap:
+                                    break
+                                if (fp_busy_static[t]
+                                        or now < fp_blocked[t]):
+                                    continue
+                                pairs.append((t, ready[taken]))
+                                fgpt[t] += 1
+                                taken += 1
+                        for t, phys in pairs:
+                            e = slots[phys]
+                            e.issued_at = fq_now
+                            f_pending.append(e)
+                            fc_grants += 1
+                            op = e.op
+                            fp_acc += ((op.src1 is not None)
+                                       + (op.src2 is not None))
+                            if fast_units:
+                                j = n_int + t
+                                fin = now + latency_of[OC_FP_ADD]
+                                pipelines[j].append(
+                                    mk_inflight(op, e.rob_index, fin))
+                                if fin < nf[j]:
+                                    nf[j] = fin
+                                fp_ops_acc[t] += 1
+                            else:
+                                fp_starts[t](op, e.rob_index, now)
+                                nf[n_int + t] = \
+                                    fp_adders[t]._next_finish
+                            rob_entries[e.rob_index].issued = True
+                            st_issued += 1
+                    if fp_rr:
+                        fp_rr_off = (fp_rr_off + 1) % n_fp
+                    if taken < budget:
+                        # FP multiplier pass re-scans: adds granted
+                        # above are no longer ready.
+                        ready = [
+                            phys for phys in fq_order[:fp_iq._top]
+                            if (e := slots[phys]) is not None
+                            and e.issued_at is None
+                            and not e.waiting_tags
+                            and e.op.opclass is OC_FP_MUL]
+                        msc_cycles += 1
+                        msc_req += len(ready)
+                        if ready and not (fpm_busy
+                                          or now < fpm_blocked):
+                            phys = ready[0]
+                            mgpt[0] += 1
+                            e = slots[phys]
+                            e.issued_at = fq_now
+                            f_pending.append(e)
+                            fc_grants += 1
+                            op = e.op
+                            fp_acc += ((op.src1 is not None)
+                                       + (op.src2 is not None))
+                            if fast_units:
+                                fin = now + latency_of[OC_FP_MUL]
+                                pipelines[mul_j].append(
+                                    mk_inflight(op, e.rob_index, fin))
+                                if fin < nf[mul_j]:
+                                    nf[mul_j] = fin
+                                mul_ops_acc += 1
+                            else:
+                                fp_mul_start(op, e.rob_index, now)
+                                nf[mul_j] = fp_mul._next_finish
+                            rob_entries[e.rob_index].issued = True
+                            st_issued += 1
+
+                # ---- queue tick (compaction) -------------------------
+                i_now += 1
+                ic_ticks += 1
+                ic_occ += int_iq._top - int_iq._holes
+                if int_iq._holes or int_iq._pending_removal:
+                    int_iq._now = i_now
+                    int_iq._compact()
+                fq_now += 1
+                fc_ticks += 1
+                fc_occ += fp_iq._top - fp_iq._holes
+                if fp_iq._holes or fp_iq._pending_removal:
+                    fp_iq._now = fq_now
+                    fp_iq._compact()
+
+                # ---- dispatch (peek-based rename + insert) -----------
+                if f_buffer:
+                    n_disp = len(f_buffer)
+                    if n_disp > issue_width:
+                        n_disp = issue_width
+                    for _ in range(n_disp):
+                        op = f_buffer[0]
+                        oc = op.opclass
+                        if oc is OC_FP_ADD or oc is OC_FP_MUL:
+                            queue = fp_iq
+                            q_cap = fq_cap
+                            offset = _FP_OFFSET
+                        else:
+                            queue = int_iq
+                            q_cap = i_cap
+                            offset = 0
+                        needs_lsq = oc is OC_LOAD or oc is OC_STORE
+                        if (rob_count == rob_capacity
+                                or queue._top >= q_cap
+                                or (needs_lsq
+                                    and lsq_count == lsq_capacity)
+                                or (op.dst is not None
+                                    and not free_list)):
+                            break  # structural stall: op stays buffered
+                        f_pop()
+                        s1 = op.src1
+                        s2 = op.src2
+                        # ``wlist`` mirrors the set in insertion order
+                        # so waiter registration below iterates a
+                        # deterministic sequence, not the set.
+                        waiting = set()
+                        wlist = []
+                        if s1 is not None:
+                            tag = amap[offset + s1]
+                            if tag not in ready_set:
+                                waiting.add(tag)
+                                wlist.append(tag)
+                        if s2 is not None:
+                            tag = amap[offset + s2]
+                            if tag not in ready_set and tag not in waiting:
+                                waiting.add(tag)
+                                wlist.append(tag)
+                        dst = op.dst
+                        if dst is not None:
+                            dst_tag = free_pop()
+                            free_set.remove(dst_tag)
+                            freed = amap[offset + dst]
+                            amap[offset + dst] = dst_tag
+                            ready_discard(dst_tag)
+                        else:
+                            dst_tag = None
+                            freed = None
+                        rob_entries[rob_tail] = ROBEntry(
+                            op=op, dst_tag=dst_tag, freed_tag=freed)
+                        rob_index = rob_tail
+                        rob_tail += 1
+                        if rob_tail == rob_capacity:
+                            rob_tail = 0
+                        rob_count += 1
+                        if needs_lsq:
+                            lsq_count += 1
+                        iq_entry = IQEntry(op=op, rob_index=rob_index,
+                                           waiting_tags=waiting)
+                        queue.slots[queue._order[queue._top]] = iq_entry
+                        queue._top += 1
+                        if queue is int_iq:
+                            ic_ins += 1
+                            for tag in wlist:
+                                bucket = int_waiters_get(tag)
+                                if bucket is None:
+                                    int_waiters[tag] = [iq_entry]
+                                else:
+                                    bucket.append(iq_entry)
+                        else:
+                            fc_ins += 1
+                            for tag in wlist:
+                                bucket = fp_waiters_get(tag)
+                                if bucket is None:
+                                    fp_waiters[tag] = [iq_entry]
+                                else:
+                                    bucket.append(iq_entry)
+
+                # ---- fetch -------------------------------------------
+                f_count = 0
+                if f_resume is not None and now >= f_resume:
+                    f_resume = None
+                if f_resume is None and f_blocking is None:
+                    while len(f_buffer) < f_capacity and f_count < f_width:
+                        try:
+                            op = trace_next()
+                        except StopIteration:
+                            f_exhausted = True
+                            break
+                        f_push(op)
+                        f_fetched += 1
+                        f_count += 1
+                        if op.opclass is OC_BRANCH:
+                            if pred_mis(op, op.taken):
+                                op.mispredicted = True
+                                f_blocking = op.seq
+                                break
+                            op.mispredicted = False
+
+            if f_exhausted and rob_count == 0 and not f_buffer:
+                finished = True
+                break
+    finally:
+        # ---- flush: write every hoisted scalar back ------------------
+        proc.now = now
+        st.cycles = st_cycles
+        st.committed = st_committed
+        st.stall_cycles = st_stall
+        st.throttled_cycles = st_throttled
+        st.issued = st_issued
+        rob._head = rob_head
+        rob._tail = rob_tail
+        rob._count = rob_count
+        rob.retired = rob_retired
+        lsq._count = lsq_count
+        fetch.fetched = f_fetched
+        fetch.exhausted = f_exhausted
+        fetch._blocking_branch = f_blocking
+        fetch._resume_at = f_resume
+        fetch._count_this_cycle = f_count
+        proc.fp_reg_accesses = fp_acc
+        int_iq._now = i_now
+        fp_iq._now = fq_now
+        c = int_iq._c
+        c[IQC_CYCLES] += ic_ticks
+        c[IQC_OCCUPANCY_SUM] += ic_occ
+        c[IQC_BROADCASTS] += ic_bcasts
+        c[IQC_INSERTS] += ic_ins
+        c[IQC_SELECT_GRANTS] += ic_grants
+        c[IQC_PAYLOAD_OPS] += ic_grants
+        c = fp_iq._c
+        c[IQC_CYCLES] += fc_ticks
+        c[IQC_OCCUPANCY_SUM] += fc_occ
+        c[IQC_BROADCASTS] += fc_bcasts
+        c[IQC_INSERTS] += fc_ins
+        c[IQC_SELECT_GRANTS] += fc_grants
+        c[IQC_PAYLOAD_OPS] += fc_grants
+        int_sel.counters.cycles = isc_cycles
+        int_sel.counters.requests_seen = isc_req
+        int_sel._rr_offset = int_rr_off
+        fp_sel.counters.cycles = fsc_cycles
+        fp_sel.counters.requests_seen = fsc_req
+        fp_sel._rr_offset = fp_rr_off
+        mul_sel.counters.cycles = msc_cycles
+        mul_sel.counters.requests_seen = msc_req
+        if any(rf_read_acc):
+            regfile._reads += rf_read_acc
+        if rf_write_events:
+            regfile._writes += rf_write_events
+        for j in range(n_units):
+            unit = units[j]
+            unit._pipeline = pipelines[j]
+            unit._next_finish = nf[j]
+        for t in range(n_int):
+            int_alus[t]._blocked_until = int_blocked[t]
+        if any(int_ops_acc):
+            proc._int_bank.ops += int_ops_acc
+        if any(fp_ops_acc):
+            proc._fp_add_bank.ops += fp_ops_acc
+        if mul_ops_acc:
+            proc._fp_mul_bank.ops[0] += mul_ops_acc
+        if busy_n and active_cycles:
+            for unit in units:
+                if unit.busy:
+                    unit._bank.busy_cycles[unit._slot] += active_cycles
+    return now - start_cycle, finished

@@ -32,6 +32,7 @@ from .config import ProcessorConfig
 from .frontend import FetchUnit
 from .isa import FP_OPCLASSES, NUM_INT_ARCH_REGS, MicroOp, OpClass
 from .issue_queue import CompactingIssueQueue, IQEntry
+from .kernel import kernel_enabled, run_kernel
 from .regfile import RegisterFileBank, RenameTable
 from .rob import ActiveList, LoadStoreQueue, ROBEntry
 from .select import SelectNetwork
@@ -129,6 +130,11 @@ class Processor:
         self.fp_mul_select = SelectNetwork(cfg.fp_queue_entries, 1)
         self.regfile = RegisterFileBank(self.mapping)
         self._all_units = [*self.int_alus, *self.fp_adders, self.fp_mul]
+        # Shared SoA counter banks (repro.pipeline.soa.UnitBank): one
+        # per functional-unit class, built by the alu.py factories.
+        self._int_bank = self.int_alus[0]._bank
+        self._fp_add_bank = self.fp_adders[0]._bank
+        self._fp_mul_bank = self.fp_mul._bank
         #: Count of currently turned-off units, maintained by
         #: ``FunctionalUnit.set_busy`` — when zero (the common case),
         #: the per-cycle busy accounting skips the unit scan.
@@ -200,7 +206,7 @@ class Processor:
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
-    def step(self) -> None:
+    def step(self) -> None:  # repro: hot-loop
         """Advance one cycle."""
         now = self.now + 1
         self.now = now
@@ -214,7 +220,7 @@ class Processor:
         if self._busy_count[0]:
             for unit in self._all_units:
                 if unit.busy:
-                    unit.counters.busy_cycles += 1
+                    unit._bank.busy_cycles[unit._slot] += 1
         if now < self.throttled_until and now % 2:
             stats.throttled_cycles += 1
             return  # gated cycle: in-flight work drained, nothing new
@@ -231,14 +237,23 @@ class Processor:
         """Run for up to ``max_cycles`` or until the trace drains.
 
         ``on_sample(processor)`` fires every ``sample_interval`` cycles
-        (the thermal sensing hook).
+        (the thermal sensing hook).  Executes through the macro-stepped
+        kernel (:mod:`repro.pipeline.kernel`) unless ``REPRO_KERNEL=0``
+        selects this reference loop; both produce bit-identical state.
         """
+        if kernel_enabled():
+            return run_kernel(self, max_cycles, on_sample,
+                              sample_interval)
         fetch = self.fetch
         rob = self.rob
         sampling = bool(sample_interval) and on_sample is not None
-        # Countdown to the next sample: ``step`` advances ``now`` by
+        # Countdown to the next sample, recomputed from the absolute
+        # cycle number at every entry: ``step`` advances ``now`` by
         # exactly one, so this fires on the same cycles as
-        # ``now % sample_interval == 0`` without a modulo per cycle.
+        # ``now % sample_interval == 0`` without a modulo per cycle —
+        # and stays aligned to absolute interval boundaries even when
+        # the run starts mid-interval (e.g. after restoring a warm
+        # checkpoint taken at a non-boundary cycle).
         countdown = (sample_interval - self.now % sample_interval
                      if sampling else 0)
         for _ in range(max_cycles):
@@ -259,7 +274,7 @@ class Processor:
     # ------------------------------------------------------------------
     # stages
     # ------------------------------------------------------------------
-    def _commit(self) -> None:
+    def _commit(self) -> None:  # repro: hot-loop
         n = self.rob.ready_count(self._commit_width)
         if not n:
             return
@@ -277,7 +292,7 @@ class Processor:
             rename.release(entry.freed_tag)
         self.stats.committed += n
 
-    def _writeback(self) -> None:
+    def _writeback(self) -> None:  # repro: hot-loop
         now = self.now
         rob = self.rob
         for unit in self._all_units:
@@ -309,14 +324,16 @@ class Processor:
         if budget > 0 and fp_iq._top != fp_iq._holes:
             self._issue_fp(budget)
 
-    def _issue_int(self, budget: int) -> int:
+    def _issue_int(self, budget: int) -> int:  # repro: hot-loop
         now = self.now
         blocked = self.regfile.blocked_alus()
+        # The reference loop keeps the readable per-cycle form; the
+        # macro-step kernel hoists this state (repro.pipeline.kernel).
         if blocked:
-            busy = [alu.busy or i in blocked or now < alu._blocked_until
+            busy = [alu.busy or i in blocked or now < alu._blocked_until  # repro: noqa[REP007]
                     for i, alu in enumerate(self.int_alus)]
         else:
-            busy = [alu.busy or now < alu._blocked_until
+            busy = [alu.busy or now < alu._blocked_until  # repro: noqa[REP007]
                     for alu in self.int_alus]
         # No ``eligible`` filter: dispatch routes every FP op to the FP
         # queue, so each int-queue entry is INT_OPCLASSES by
@@ -383,7 +400,7 @@ class Processor:
         entry = self.fp_iq.slots[phys]
         return entry is not None and entry.op.opclass in opclasses
 
-    def _dispatch(self) -> None:
+    def _dispatch(self) -> None:  # repro: hot-loop
         ops = self.fetch.pop_ready(self._issue_width)
         if not ops:
             return
@@ -488,11 +505,11 @@ class Processor:
             committed=self.stats.committed,
             int_iq=self.int_iq.counters.snapshot(),
             fp_iq=self.fp_iq.counters.snapshot(),
-            alu_ops=[u.counters.ops for u in self.int_alus],
-            fp_add_ops=[u.counters.ops for u in self.fp_adders],
-            fp_mul_ops=self.fp_mul.counters.ops,
-            rf_reads=list(self.regfile.counters.reads),
-            rf_writes=list(self.regfile.counters.writes),
+            alu_ops=self._int_bank.ops.tolist(),
+            fp_add_ops=self._fp_add_bank.ops.tolist(),
+            fp_mul_ops=int(self._fp_mul_bank.ops[0]),
+            rf_reads=self.regfile.counters.reads,
+            rf_writes=self.regfile.counters.writes,
             fp_reg_accesses=self.fp_reg_accesses,
             l1d_accesses=self.memory.l1d.stats.accesses,
             l2_accesses=self.memory.l2.stats.accesses,

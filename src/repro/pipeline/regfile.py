@@ -17,8 +17,10 @@ Two structures live here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from ..core.mapping import PortMapping
 from .isa import FP_OPCLASSES, MicroOp
@@ -126,12 +128,27 @@ class RenameTable:
         self._ready = set(state["ready"])
 
 
-@dataclass
 class RegFileCounters:
-    """Cumulative accesses per register-file copy."""
+    """Cumulative accesses per register-file copy: a read view over the
+    bank's SoA arrays (``reads``/``writes`` come back as plain lists,
+    so existing ``counters.reads == [2, 2]`` comparisons still hold)."""
 
-    reads: List[int] = field(default_factory=list)
-    writes: List[int] = field(default_factory=list)
+    __slots__ = ("_reads", "_writes")
+
+    def __init__(self, reads: Any, writes: Any) -> None:
+        self._reads = reads
+        self._writes = writes
+
+    @property
+    def reads(self) -> List[int]:
+        return self._reads.tolist()
+
+    @property
+    def writes(self) -> List[int]:
+        return self._writes.tolist()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RegFileCounters(reads={self.reads}, writes={self.writes})"
 
 
 class RegisterFileBank:
@@ -140,8 +157,10 @@ class RegisterFileBank:
     def __init__(self, mapping: PortMapping) -> None:
         self.mapping = mapping
         self.n_copies = mapping.n_copies
-        self.counters = RegFileCounters(
-            reads=[0] * self.n_copies, writes=[0] * self.n_copies)
+        #: SoA access counters, indexed by copy.
+        self._reads = np.zeros(self.n_copies, dtype=np.int64)
+        self._writes = np.zeros(self.n_copies, dtype=np.int64)
+        self.counters = RegFileCounters(self._reads, self._writes)
         self._off: Set[int] = set()
         #: Cached union of the mapped ALUs of every turned-off copy,
         #: maintained by turn_off/turn_on — issue reads it every cycle.
@@ -165,13 +184,12 @@ class RegisterFileBank:
                 raise RuntimeError(
                     f"read from turned-off register-file copy {copy}; "
                     f"ALU {alu} should have been marked busy")
-            self.counters.reads[copy] += 1
+            self._reads[copy] += 1
 
     def write(self) -> None:
         """Charge one register write to every copy (values are
         replicated; a cooling copy still accepts writes)."""
-        for copy in range(self.n_copies):
-            self.counters.writes[copy] += 1
+        self._writes += 1
 
     # ------------------------------------------------------------------
     # fine-grain turnoff
@@ -215,10 +233,13 @@ class RegisterFileBank:
     # warm-state checkpointing (repro.sim.checkpoint)
     # ------------------------------------------------------------------
     def snapshot_state(self) -> Dict[str, Any]:
-        return {"counters": self.counters, "off": self._off,
-                "blocked": self._blocked}
+        return {"counters": {"reads": self.counters.reads,
+                             "writes": self.counters.writes},
+                "off": self._off, "blocked": self._blocked}
 
     def restore_state(self, state: Dict[str, Any]) -> None:
-        self.counters = state["counters"]
+        values = state["counters"]
+        self._reads[:] = values["reads"]
+        self._writes[:] = values["writes"]
         self._off = set(state["off"])
         self._blocked = set(state["blocked"])

@@ -1,0 +1,75 @@
+"""Struct-of-arrays (SoA) counter storage for the pipeline hot path.
+
+The measurement loop used to bump per-object Python ``int`` attributes
+(``unit.counters.ops += 1``) scattered across every functional unit,
+issue queue, and register-file copy.  This module centralizes that
+state into preallocated ``numpy`` arrays indexed by unit id, which buys
+two things:
+
+* the macro-stepped kernel (:mod:`repro.pipeline.kernel`) can apply a
+  whole sensing interval's activity delta in a handful of vectorized
+  array operations per macro-step instead of per-cycle attribute bumps;
+* boundary consumers (power accountant, metrics, activity toggler)
+  read the same counters through cheap views, so the public
+  ``unit.counters.ops`` API — and every existing test — is unchanged.
+
+Counters are ``int64``: the largest per-run count (queue entry-cycles)
+stays far below 2**63 for any feasible run length.
+
+Layout
+------
+* :class:`UnitBank` — one array triple (ops, busy_cycles,
+  turnoff_events) per functional-unit bank (integer ALUs, FP adders,
+  FP multiplier); a unit owns slot ``i`` of its bank's arrays.
+* Issue-queue counters — one 15-element array per queue; the ``IQC_*``
+  constants below name the slots.  Per-half counters occupy two
+  adjacent slots (index 0 = lower physical half).
+* Register-file counters — one reads array and one writes array per
+  bank, indexed by copy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Issue-queue counter slots (see ``IssueQueueCounters`` for meaning).
+IQC_COMPACTION_MOVES_0 = 0
+IQC_COMPACTION_MOVES_1 = 1
+IQC_MUX_SELECTS_0 = 2
+IQC_MUX_SELECTS_1 = 3
+IQC_LONG_MOVES_0 = 4
+IQC_LONG_MOVES_1 = 5
+IQC_COUNTER_EVALS_0 = 6
+IQC_COUNTER_EVALS_1 = 7
+IQC_BROADCASTS = 8
+IQC_PAYLOAD_OPS = 9
+IQC_SELECT_GRANTS = 10
+IQC_INSERTS = 11
+IQC_CYCLES = 12
+IQC_TOGGLES = 13
+IQC_OCCUPANCY_SUM = 14
+IQC_NFIELDS = 15
+
+
+def new_iq_counter_array() -> np.ndarray:
+    """Preallocated counter storage for one issue queue."""
+    return np.zeros(IQC_NFIELDS, dtype=np.int64)
+
+
+class UnitBank:
+    """SoA activity counters for one bank of functional units.
+
+    Every unit of a bank (e.g. the six integer ALUs) shares these
+    arrays and owns one slot, so a macro-step can charge busy cycles to
+    the whole bank with one masked vector add.
+    """
+
+    __slots__ = ("n_units", "ops", "busy_cycles", "turnoff_events")
+
+    def __init__(self, n_units: int) -> None:
+        if n_units < 1:
+            raise ValueError("a unit bank needs at least one slot")
+        self.n_units = n_units
+        self.ops = np.zeros(n_units, dtype=np.int64)
+        self.busy_cycles = np.zeros(n_units, dtype=np.int64)
+        self.turnoff_events = np.zeros(n_units, dtype=np.int64)

@@ -50,7 +50,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner
 #: Format version embedded in every checkpoint payload; bumped whenever
 #: the snapshot layout changes so stale entries are rejected, not
 #: misinterpreted.
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2  # v2: SoA counters snapshot as plain values
 
 
 class CheckpointError(RuntimeError):

@@ -22,7 +22,8 @@ def rule_ids(findings):
 class TestRuleRegistry:
     def test_ids_are_stable_and_ordered(self):
         assert [r.rule_id for r in RULES] == [
-            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006"]
+            "REP001", "REP002", "REP003", "REP004", "REP005", "REP006",
+            "REP007"]
 
     def test_every_rule_documents_itself(self):
         for rule in RULES:
@@ -262,6 +263,112 @@ class TestREP006LibraryPrint:
                                 path="src/repro/sim/runner.py")
         rep006 = [f for f in findings if f.rule_id == "REP006"][0]
         assert "repro.obs" in rep006.format()
+
+
+class TestREP007HotLoopDiscipline:
+    def test_unmarked_function_ignored(self):
+        findings = findings_for(
+            "class C:\n"
+            "    def slow(self):\n"
+            "        for x in range(4):\n"
+            "            buf = []\n"
+            "            buf.append(self.a.b + self.a.b + self.a.b)\n")
+        assert "REP007" not in rule_ids(findings)
+
+    def test_marker_on_def_line_allocation_fires(self):
+        findings = findings_for(
+            "class C:\n"
+            "    def hot(self):  # repro: hot-loop\n"
+            "        buf = []\n"
+            "        return buf\n")
+        assert "REP007" in rule_ids(findings)
+
+    def test_marker_on_line_above_fires(self):
+        findings = findings_for(
+            "class C:\n"
+            "    # repro: hot-loop\n"
+            "    def hot(self):\n"
+            "        return list(self.items)\n")
+        assert "REP007" in rule_ids(findings)
+
+    def test_comprehension_fires(self):
+        findings = findings_for(
+            "class C:\n"
+            "    def hot(self):  # repro: hot-loop\n"
+            "        return [x for x in self.items]\n")
+        assert "REP007" in rule_ids(findings)
+
+    def test_dict_display_fires(self):
+        findings = findings_for(
+            "class C:\n"
+            "    def hot(self):  # repro: hot-loop\n"
+            "        return {'k': 1}\n")
+        assert "REP007" in rule_ids(findings)
+
+    def test_allocation_free_body_clean(self):
+        findings = findings_for(
+            "class C:\n"
+            "    def hot(self):  # repro: hot-loop\n"
+            "        self.count += 1\n"
+            "        return self.count\n")
+        assert "REP007" not in rule_ids(findings)
+
+    def test_repeated_chain_fires_at_threshold(self):
+        findings = findings_for(
+            "class C:\n"
+            "    def hot(self):  # repro: hot-loop\n"
+            "        a = self.stats.cycles\n"
+            "        b = self.stats.cycles\n"
+            "        return a + b + self.stats.cycles\n")
+        assert "REP007" in rule_ids(findings)
+        message = [f for f in findings if f.rule_id == "REP007"][0].message
+        assert "self.stats.cycles" in message
+
+    def test_chain_below_threshold_clean(self):
+        findings = findings_for(
+            "class C:\n"
+            "    def hot(self):  # repro: hot-loop\n"
+            "        return self.stats.cycles + self.stats.cycles\n")
+        assert "REP007" not in rule_ids(findings)
+
+    def test_single_level_attribute_not_a_chain(self):
+        findings = findings_for(
+            "class C:\n"
+            "    def hot(self):  # repro: hot-loop\n"
+            "        return self.a + self.a + self.a + self.a\n")
+        assert "REP007" not in rule_ids(findings)
+
+    def test_hoisted_local_is_the_sanctioned_spelling(self):
+        findings = findings_for(
+            "class C:\n"
+            "    def hot(self):  # repro: hot-loop\n"
+            "        stats = self.stats\n"
+            "        return stats.cycles + stats.cycles + stats.cycles\n")
+        assert "REP007" not in rule_ids(findings)
+
+    def test_deep_chain_counts_once_per_occurrence(self):
+        # self.a.b.c must not double count its inner self.a.b prefix.
+        findings = findings_for(
+            "class C:\n"
+            "    def hot(self):  # repro: hot-loop\n"
+            "        return self.a.b.c + self.a.b.c\n")
+        assert "REP007" not in rule_ids(findings)
+
+    def test_noqa_suppresses(self):
+        findings = findings_for(
+            "class C:\n"
+            "    def hot(self):  # repro: hot-loop\n"
+            "        buf = []  # repro: noqa[REP007]\n"
+            "        return buf\n")
+        assert "REP007" not in rule_ids(findings)
+
+    def test_non_self_chains_ignored(self):
+        findings = findings_for(
+            "class C:\n"
+            "    def hot(self, q):  # repro: hot-loop\n"
+            "        return q.stats.cycles + q.stats.cycles "
+            "+ q.stats.cycles\n")
+        assert "REP007" not in rule_ids(findings)
 
 
 class TestSuppression:

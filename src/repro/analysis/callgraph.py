@@ -1,0 +1,335 @@
+"""Project-wide analysis infrastructure: module index, symbol table,
+call graph.
+
+The deep semantic rules (:mod:`repro.analysis.semantic`) need facts no
+single file can provide — "is this function reachable from the DTM's
+``on_sample`` hook?", "which counters does the kernel's flush land?".
+This module builds those facts **once per lint run** from the same
+parsed :class:`~repro.analysis.rules.FileContext` objects the shallow
+REP0xx rules consume, so every file is read and parsed exactly once no
+matter how many rules run.
+
+Resolution model
+----------------
+Python has no static dispatch, so the call graph is a deliberate
+over-approximation (in the permissive direction — reachability grows,
+contract rules get *less* eager to fire):
+
+* a call ``f(...)`` / ``obj.f(...)`` links to **every** project
+  function whose simple name is ``f`` (class-hierarchy-agnostic, like
+  rapid type analysis without the type feedback);
+* function *references* are tracked through an alias map: a lambda or
+  ``obj.method`` passed as a call argument or stored in an attribute
+  (``turn_off=lambda i: ...``, ``self._cb = callback``) records the
+  receiving name, so a later call through that name
+  (``self._cb(x)``) links to the referenced functions — this is how
+  DTM gating callbacks stay on the graph;
+* calls through computed expressions (``handlers[i](x)``) link to
+  every **address-taken** function (one whose reference escapes) plus
+  every lambda;
+* calls whose name matches nothing in the project (``np.zeros``,
+  ``handle.write``) are external and contribute no edges.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .rules import FileContext
+
+__all__ = ["FunctionInfo", "ProjectIndex", "CallGraph",
+           "build_project_index"]
+
+#: Builtin names never treated as project call targets even when a
+#: project function shadows them somewhere.
+_BUILTIN_NAMES = frozenset({
+    "len", "range", "print", "min", "max", "abs", "sum", "sorted",
+    "enumerate", "zip", "isinstance", "float", "int", "str", "bool",
+    "list", "dict", "set", "tuple", "frozenset", "getattr", "setattr",
+    "hasattr", "super", "iter", "next", "open", "repr", "format", "id",
+    "type", "vars", "round", "any", "all", "map", "filter",
+})
+
+
+@dataclass
+class FunctionInfo:
+    """One function (or lambda) definition in the project."""
+
+    qualname: str               #: ``path::Class.method`` / ``path::f``
+    name: str                   #: simple name (``method``)
+    path: str                   #: posix path of the defining file
+    class_name: Optional[str]   #: enclosing class, if any
+    node: ast.AST               #: FunctionDef / AsyncFunctionDef / Lambda
+    lineno: int = 0
+    is_lambda: bool = False
+
+    @property
+    def method_key(self) -> str:
+        """``Class.name`` (or bare ``name`` at module level)."""
+        if self.class_name:
+            return f"{self.class_name}.{self.name}"
+        return self.name
+
+
+@dataclass
+class ProjectIndex:
+    """Everything the deep pass knows about the project, parsed once.
+
+    ``contexts`` are the exact objects the shallow pass linted — the
+    index never re-reads or re-parses a file.
+    """
+
+    contexts: Tuple[FileContext, ...]
+    #: qualname -> FunctionInfo for every def/lambda in the project.
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: simple name -> every FunctionInfo sharing it.
+    by_name: Dict[str, List[FunctionInfo]] = field(default_factory=dict)
+    #: class name -> posix paths defining it (symbol table).
+    classes: Dict[str, List[str]] = field(default_factory=dict)
+    #: (path, lineno) -> lambda FunctionInfo, for reference tracking.
+    lambdas_at: Dict[Tuple[str, int], FunctionInfo] = field(
+        default_factory=dict)
+
+    def functions_matching(self, name: str,
+                           class_name: Optional[str] = None,
+                           path_suffix: str = "") -> List[FunctionInfo]:
+        """Functions with simple name ``name``, optionally restricted
+        to a class and/or a posix-path suffix."""
+        out = []
+        for info in self.by_name.get(name, []):
+            if class_name is not None and info.class_name != class_name:
+                continue
+            if path_suffix and not info.path.endswith(path_suffix):
+                continue
+            out.append(info)
+        return out
+
+
+def _collect_functions(ctx: FileContext) -> List[FunctionInfo]:
+    """Every def / lambda in one file, with class attribution."""
+    infos: List[FunctionInfo] = []
+    path = ctx.posix_path
+
+    def visit(node: ast.AST, class_name: Optional[str],
+              scope: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                visit(child, child.name, f"{scope}{child.name}.")
+            elif isinstance(child, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)):
+                qual = f"{path}::{scope}{child.name}"
+                infos.append(FunctionInfo(
+                    qualname=qual, name=child.name, path=path,
+                    class_name=class_name, node=child,
+                    lineno=child.lineno))
+                visit(child, class_name, f"{scope}{child.name}.")
+            elif isinstance(child, ast.Lambda):
+                qual = f"{path}::{scope}<lambda:{child.lineno}>"
+                infos.append(FunctionInfo(
+                    qualname=qual, name=f"<lambda:{child.lineno}>",
+                    path=path, class_name=class_name, node=child,
+                    lineno=child.lineno, is_lambda=True))
+                visit(child, class_name, scope)
+            else:
+                visit(child, class_name, scope)
+
+    visit(ctx.tree, None, "")
+    return infos
+
+
+def build_project_index(
+        contexts: Sequence[FileContext]) -> ProjectIndex:
+    """Build the symbol table over already-parsed file contexts."""
+    index = ProjectIndex(contexts=tuple(contexts))
+    for ctx in contexts:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                index.classes.setdefault(node.name, []).append(
+                    ctx.posix_path)
+        for info in _collect_functions(ctx):
+            index.functions[info.qualname] = info
+            index.by_name.setdefault(info.name, []).append(info)
+            if info.is_lambda:
+                index.lambdas_at[(info.path, info.lineno)] = info
+    return index
+
+
+def _direct_nodes(func: ast.AST) -> Iterable[ast.AST]:
+    """Walk a function's body without descending into nested function
+    definitions or lambdas (those are separate call-graph nodes)."""
+    stack = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """The name an expression dispatches on: ``f`` for ``f``/``a.f``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class CallGraph:
+    """Name-resolved call graph over a :class:`ProjectIndex`."""
+
+    #: Pseudo-target for computed calls (``handlers[i](x)``); resolved
+    #: to the address-taken set during reachability.
+    UNKNOWN = "<unknown-callable>"
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        #: qualname -> direct call targets (qualnames / UNKNOWN).
+        self.edges: Dict[str, Set[str]] = {}
+        #: Functions whose reference escapes (plus all lambdas).
+        self.address_taken: Set[str] = set()
+        #: name -> function qualnames the name may hold (callback
+        #: slots: ``turn_off=...`` keywords, ``self._cb = ...`` stores).
+        self.aliases: Dict[str, Set[str]] = {}
+        self._func_ranges = self._build_ranges()
+        self._build_aliases()
+        self._build_edges()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build_ranges(self) -> Dict[str, List[FunctionInfo]]:
+        by_path: Dict[str, List[FunctionInfo]] = {}
+        for info in self.index.functions.values():
+            by_path.setdefault(info.path, []).append(info)
+        return by_path
+
+    def _ref_targets(self, node: ast.AST,
+                     path: str) -> Optional[Set[str]]:
+        """Qualnames a *reference expression* may denote: a lambda, or
+        a name/attribute matching project functions or a known alias.
+        None when the expression is not a function reference."""
+        if isinstance(node, ast.Lambda):
+            info = self.index.lambdas_at.get((path, node.lineno))
+            return {info.qualname} if info else None
+        name = _terminal_name(node)
+        if name is None:
+            return None
+        out: Set[str] = set()
+        for info in self.index.by_name.get(name, []):
+            out.add(info.qualname)
+        out |= self.aliases.get(name, set())
+        return out or None
+
+    def _build_aliases(self) -> None:
+        """Fixpoint over reference flows: keyword/assignment targets
+        receiving a function reference become callback slots."""
+        for _ in range(3):
+            changed = False
+            for ctx in self.index.contexts:
+                path = ctx.posix_path
+                for node in ast.walk(ctx.tree):
+                    pairs: List[Tuple[str, ast.AST]] = []
+                    if isinstance(node, ast.Call):
+                        for kw in node.keywords:
+                            if kw.arg:
+                                pairs.append((kw.arg, kw.value))
+                    elif isinstance(node, ast.Assign):
+                        for target in node.targets:
+                            name = _terminal_name(target)
+                            if name:
+                                pairs.append((name, node.value))
+                    for name, value in pairs:
+                        targets = self._ref_targets(value, path)
+                        if not targets:
+                            continue
+                        slot = self.aliases.setdefault(name, set())
+                        if not targets <= slot:
+                            slot.update(targets)
+                            changed = True
+            if not changed:
+                break
+
+    def _build_edges(self) -> None:
+        index = self.index
+        for qual, info in index.functions.items():
+            targets: Set[str] = set()
+            for node in _direct_nodes(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = _terminal_name(node.func)
+                if name is None:
+                    # Computed callee: could be any escaped function.
+                    targets.add(self.UNKNOWN)
+                    continue
+                resolved = {t.qualname
+                            for t in index.by_name.get(name, [])}
+                resolved |= self.aliases.get(name, set())
+                if name in _BUILTIN_NAMES:
+                    resolved -= {t.qualname for t in
+                                 index.by_name.get(name, [])}
+                targets.update(resolved)
+            self.edges[qual] = targets
+        # Address-taken scan runs over whole files (module-level
+        # ``HANDLERS = [a, b]`` tables escape functions too).  A
+        # reference in the func slot of a call is a plain call, any
+        # other use takes the address.
+        for ctx in self.index.contexts:
+            call_func_ids = {id(n.func) for n in ast.walk(ctx.tree)
+                             if isinstance(n, ast.Call)}
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, (ast.Name, ast.Attribute)):
+                    continue
+                name = _terminal_name(node)
+                if (name in index.by_name
+                        and id(node) not in call_func_ids):
+                    for t in index.by_name[name]:
+                        self.address_taken.add(t.qualname)
+        for info in index.functions.values():
+            if info.is_lambda:
+                self.address_taken.add(info.qualname)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def callees(self, qualname: str) -> Set[str]:
+        """Direct call targets, with computed calls expanded to the
+        address-taken set."""
+        raw = self.edges.get(qualname, set())
+        if self.UNKNOWN not in raw:
+            return set(raw)
+        out = {t for t in raw if t != self.UNKNOWN}
+        out |= self.address_taken
+        return out
+
+    def reachable(self, roots: Iterable[str]) -> Set[str]:
+        """Every function reachable from ``roots`` (roots included)."""
+        seen: Set[str] = set()
+        stack = [r for r in roots if r in self.edges]
+        while stack:
+            qual = stack.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            for target in self.callees(qual):
+                if target not in seen and target in self.edges:
+                    stack.append(target)
+        return seen
+
+    def enclosing_function(self, path: str,
+                           node: ast.AST) -> Optional[FunctionInfo]:
+        """The innermost project function whose body spans ``node``
+        (by line interval within ``path``)."""
+        lineno = getattr(node, "lineno", None)
+        if lineno is None:
+            return None
+        best: Optional[FunctionInfo] = None
+        for info in self._func_ranges.get(path, []):
+            end = getattr(info.node, "end_lineno", info.lineno)
+            if info.lineno <= lineno <= (end or info.lineno):
+                if best is None or info.lineno > best.lineno:
+                    best = info
+        return best

@@ -1,0 +1,513 @@
+"""Dimensional analysis: physical units inferred from REP003 suffixes
+and propagated through expressions.
+
+The repo's unit discipline is purely lexical — ``interval_s`` carries
+seconds because its name says so (REP003).  This module turns those
+suffixes into an actual unit algebra so the deep pass (REP101 in
+:mod:`repro.analysis.semantic`) can check *flow*, not just naming:
+
+* a name's trailing unit chain parses to an exponent vector over base
+  dimensions (``_k_per_w`` -> K·W⁻¹ -> ``{K: 1, J: -1, s: 1}``);
+* ``*`` and ``/`` combine exponent vectors; ``+``, ``-`` and
+  comparisons require equal vectors; ``**`` with a literal integer
+  exponent scales them;
+* watts are stored as J·s⁻¹, so ``energy_j / interval_s`` flows into a
+  ``_w`` name without complaint while ``energy_j`` alone does not —
+  the missing ``interval_s`` conversion is exactly the mismatch;
+* nanojoules are a *distinct* base unit from joules: the per-event
+  tables are nJ and a raw ``x_nj + y_j`` sum is a real 1e9 bug.  The
+  ``NANOJOULE`` constant carries J·nJ⁻¹, so multiplying by it is the
+  sanctioned conversion.
+
+Cycle counts (``_cycles``) are additive-incompatible with seconds —
+``stall_cycles + interval_s`` is flagged — but **multiplicatively
+transparent**: a count times a per-cycle quantity is just a scaled
+quantity (``cooling_cycles * cycle_time_s`` is seconds, not
+cycle-seconds), so ``cyc`` exponents are dropped from every product
+and quotient.
+
+Unknown stays unknown: a bare float with no suffix and no inferable
+source contributes no constraints, which is what keeps the pass quiet
+on dimensionless code.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .rules import unit_of
+
+__all__ = ["Dim", "DIMENSIONLESS", "parse_unit_chain", "dim_of_name",
+           "format_dim", "DimEvent", "FunctionDims", "DimInferencer"]
+
+#: A dimension: canonically sorted (base, exponent) pairs. ``()`` is
+#: dimensionless (a known pure number); ``None`` elsewhere means
+#: "unknown" (no information — never checked).
+Dim = Tuple[Tuple[str, int], ...]
+
+DIMENSIONLESS: Dim = ()
+
+#: Suffix token -> base-dimension exponents.  Watts and hertz are
+#: derived (J·s⁻¹ and s⁻¹) so conversions through ``* interval_s`` /
+#: ``/ interval_s`` type-check structurally.
+_TOKEN_DIMS: Dict[str, Dict[str, int]] = {
+    "k": {"K": 1},
+    "j": {"J": 1},
+    "nj": {"nJ": 1},
+    "w": {"J": 1, "s": -1},
+    "s": {"s": 1},
+    "hz": {"s": -1},
+    "m": {"m": 1},
+    "m2": {"m": 2},
+    "m3": {"m": 3},
+    "v": {"V": 1},
+    "cycles": {"cyc": 1},
+}
+
+#: Module-level constants with known dimensions (conversion factors).
+KNOWN_CONSTANT_DIMS: Dict[str, Dim] = {
+    # energy.NANOJOULE = 1e-9 J per nJ: the sanctioned nJ -> J bridge.
+    "NANOJOULE": (("J", 1), ("nJ", -1)),
+}
+
+
+def _canon(exps: Dict[str, int]) -> Dim:
+    return tuple(sorted((base, exp) for base, exp in exps.items()
+                        if exp != 0))
+
+
+def parse_unit_chain(chain: str) -> Optional[Dim]:
+    """``'k_per_w'`` -> K·W⁻¹ as an exponent vector; None if any token
+    is unrecognised."""
+    exps: Dict[str, int] = {}
+    sign = 1
+    for token in chain.split("_"):
+        if token == "per":
+            sign = -1
+            continue
+        dims = _TOKEN_DIMS.get(token)
+        if dims is None:
+            return None
+        for base, exp in dims.items():
+            exps[base] = exps.get(base, 0) + sign * exp
+    return _canon(exps)
+
+
+def dim_of_name(name: str) -> Optional[Dim]:
+    """Dimension a name declares via its unit suffix, or None."""
+    chain = unit_of(name)
+    if chain is None:
+        return None
+    return parse_unit_chain(chain)
+
+
+def _strip_cycles(dim: Dim) -> Dim:
+    """Drop ``cyc`` exponents (counts are multiplicative scalars)."""
+    return tuple((b, e) for b, e in dim if b != "cyc")
+
+
+def dim_mul(a: Dim, b: Dim, sign: int = 1) -> Dim:
+    exps = dict(a)
+    for base, exp in b:
+        exps[base] = exps.get(base, 0) + sign * exp
+    return _strip_cycles(_canon(exps))
+
+
+def dim_pow(a: Dim, exponent: int) -> Dim:
+    return _canon({base: exp * exponent for base, exp in a})
+
+
+#: Pretty names for common derived vectors, for messages.
+_PRETTY: Dict[Dim, str] = {
+    DIMENSIONLESS: "1",
+    (("J", 1), ("s", -1)): "W",
+    (("J", -1), ("s", 1)): "1/W",
+    (("J", -1), ("K", 1), ("s", 1)): "K/W",
+    (("s", -1),): "Hz",
+    (("J", 1), ("m", -2), ("s", -1)): "W/m^2",
+}
+
+
+def format_dim(dim: Dim) -> str:
+    """Human-readable unit: ``[K/W]``-style bracket contents."""
+    pretty = _PRETTY.get(dim)
+    if pretty is not None:
+        return pretty
+    num = [f"{b}^{e}" if e != 1 else b for b, e in dim if e > 0]
+    den = [f"{b}^{-e}" if e != -1 else b for b, e in dim if e < 0]
+    if not num and not den:
+        return "1"
+    text = "*".join(num) if num else "1"
+    if den:
+        text += "/" + "/".join(den)
+    return text
+
+
+@dataclass(frozen=True)
+class DimEvent:
+    """One dimensional inconsistency found while inferring."""
+
+    kind: str        #: ``mix`` | ``compare`` | ``assign`` | ``return`` | ``arg``
+    node: ast.AST
+    message: str
+
+
+@dataclass
+class FunctionDims:
+    """Summary of one function: parameter and return dimensions."""
+
+    param_dims: List[Tuple[str, Optional[Dim]]] = field(
+        default_factory=list)
+    return_dim: Optional[Dim] = None
+
+
+class DimInferencer:
+    """Single-pass, statement-ordered dimension inference over one
+    function body.
+
+    ``known_returns`` maps simple function names to their inferred
+    return dimension (built project-wide by the caller, then fed back
+    for a second pass so cross-module calls resolve).
+    ``param_table`` maps simple function names to their parameter
+    dimension lists for call-site argument checking.
+    """
+
+    #: Builtins that pass their argument's dimension through.
+    _PASSTHROUGH = frozenset({"abs", "float"})
+    #: Builtins returning the common dimension of their arguments.
+    _CONSISTENT = frozenset({"min", "max", "sum"})
+
+    def __init__(self,
+                 known_returns: Optional[Dict[str, Dim]] = None,
+                 param_table: Optional[
+                     Dict[str, List[Tuple[str, Optional[Dim]]]]] = None
+                 ) -> None:
+        self.known_returns = known_returns or {}
+        self.param_table = param_table or {}
+        self.events: List[DimEvent] = []
+        self._env: Dict[str, Optional[Dim]] = {}
+        self._returns: List[Optional[Dim]] = []
+
+    # ------------------------------------------------------------------
+    def infer(self, func: ast.AST) -> FunctionDims:
+        """Infer over one FunctionDef; events accumulate on self."""
+        self._env = {}
+        self._returns = []
+        summary = FunctionDims()
+        args = getattr(func, "args", None)
+        if args is not None:
+            for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+                dim = dim_of_name(arg.arg)
+                if arg.arg not in ("self", "cls"):
+                    summary.param_dims.append((arg.arg, dim))
+                if dim is not None:
+                    self._env[arg.arg] = dim
+        for stmt in getattr(func, "body", []):
+            self._stmt(stmt)
+        declared = dim_of_name(getattr(func, "name", ""))
+        known = [d for d in self._returns
+                 if d is not None and d != DIMENSIONLESS]
+        if known and all(d == known[0] for d in known):
+            summary.return_dim = known[0]
+        if declared is not None and summary.return_dim is not None \
+                and summary.return_dim != declared:
+            # Anchor on the first offending return statement.
+            for stmt, dim in zip(
+                    [s for s in ast.walk(func)
+                     if isinstance(s, ast.Return)], self._returns):
+                if dim is not None and dim != declared \
+                        and dim != DIMENSIONLESS:
+                    self.events.append(DimEvent(
+                        "return", stmt,
+                        f"returns [{format_dim(dim)}] from a function "
+                        f"whose name declares [{format_dim(declared)}]"))
+                    break
+        if declared is not None:
+            summary.return_dim = declared
+        return summary
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def _stmt(self, stmt: ast.AST) -> None:
+        if isinstance(stmt, ast.Assign):
+            value_dim = self._dim(stmt.value)
+            for target in stmt.targets:
+                self._bind(target, value_dim, stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._bind(stmt.target, self._dim(stmt.value), stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            self._augassign(stmt)
+        elif isinstance(stmt, ast.Return):
+            dim = self._dim(stmt.value) if stmt.value is not None else None
+            self._returns.append(dim)
+        elif isinstance(stmt, ast.Expr):
+            self._dim(stmt.value)
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._dim(stmt.test)
+            for sub in stmt.body:
+                self._stmt(sub)
+            for sub in stmt.orelse:
+                self._stmt(sub)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._dim(stmt.iter)
+            self._bind(stmt.target, None, stmt, check=False)
+            for sub in stmt.body:
+                self._stmt(sub)
+            for sub in stmt.orelse:
+                self._stmt(sub)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for sub in stmt.body:
+                self._stmt(sub)
+        elif isinstance(stmt, ast.Try):
+            for sub in [*stmt.body, *stmt.orelse, *stmt.finalbody]:
+                self._stmt(sub)
+            for handler in stmt.handlers:
+                for sub in handler.body:
+                    self._stmt(sub)
+        elif isinstance(stmt, ast.Assert):
+            self._dim(stmt.test)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._dim(stmt.exc)
+        # Nested defs/lambdas are separate inference units: skipped.
+
+    def _key(self, target: ast.AST) -> Optional[str]:
+        if isinstance(target, ast.Name):
+            return target.id
+        if (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"):
+            return f"self.{target.attr}"
+        return None
+
+    def _declared(self, target: ast.AST) -> Optional[Dim]:
+        """Dimension a target's name (or its array base's name) claims."""
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        name = _terminal(target)
+        if name is None:
+            return None
+        return dim_of_name(name)
+
+    def _bind(self, target: ast.AST, value_dim: Optional[Dim],
+              stmt: ast.AST, check: bool = True) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, None, stmt, check=False)
+            return
+        declared = self._declared(target)
+        if (check and declared is not None and value_dim is not None
+                and value_dim != DIMENSIONLESS
+                and value_dim != declared):
+            name = _terminal(target) or "<target>"
+            self.events.append(DimEvent(
+                "assign", stmt,
+                f"assigns [{format_dim(value_dim)}] to '{name}' which "
+                f"declares [{format_dim(declared)}]"))
+        key = self._key(target)
+        if key is not None:
+            self._env[key] = declared if declared is not None \
+                else value_dim
+
+    def _augassign(self, stmt: ast.AugAssign) -> None:
+        target_dim = self._declared(stmt.target)
+        if target_dim is None:
+            key = self._key(stmt.target)
+            target_dim = self._env.get(key) if key else None
+        value_dim = self._dim(stmt.value)
+        op = stmt.op
+        if isinstance(op, (ast.Add, ast.Sub)):
+            if (target_dim is not None and value_dim is not None
+                    and target_dim != DIMENSIONLESS
+                    and value_dim != DIMENSIONLESS
+                    and target_dim != value_dim):
+                name = _terminal(stmt.target) or "<target>"
+                self.events.append(DimEvent(
+                    "assign", stmt,
+                    f"accumulates [{format_dim(value_dim)}] into "
+                    f"'{name}' [{format_dim(target_dim)}]"))
+        elif isinstance(op, (ast.Mult, ast.Div)):
+            key = self._key(stmt.target)
+            if key is not None and target_dim is not None \
+                    and value_dim is not None:
+                sign = 1 if isinstance(op, ast.Mult) else -1
+                self._env[key] = dim_mul(target_dim, value_dim, sign)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def _dim(self, node: ast.AST) -> Optional[Dim]:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, (int, float)) \
+                    and not isinstance(node.value, bool):
+                return DIMENSIONLESS
+            return None
+        if isinstance(node, ast.Name):
+            if node.id in self._env:
+                return self._env[node.id]
+            if node.id in KNOWN_CONSTANT_DIMS:
+                return KNOWN_CONSTANT_DIMS[node.id]
+            return dim_of_name(node.id)
+        if isinstance(node, ast.Attribute):
+            self._dim(node.value)
+            key = self._key(node)
+            if key is not None and key in self._env:
+                return self._env[key]
+            if node.attr in KNOWN_CONSTANT_DIMS:
+                return KNOWN_CONSTANT_DIMS[node.attr]
+            return dim_of_name(node.attr)
+        if isinstance(node, ast.Subscript):
+            # An element of an array carries the array's dimension.
+            return self._dim(node.value)
+        if isinstance(node, ast.UnaryOp):
+            return self._dim(node.operand)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node)
+        if isinstance(node, ast.Compare):
+            self._compare(node)
+            return None
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.IfExp):
+            self._dim(node.test)
+            a = self._dim(node.body)
+            b = self._dim(node.orelse)
+            return a if a == b else None
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                self._dim(elt)
+            return None
+        if isinstance(node, ast.Dict):
+            for value in node.values:
+                if value is not None:
+                    self._dim(value)
+            return None
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                self._dim(value)
+            return None
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            for gen in node.generators:
+                self._dim(gen.iter)
+            return None
+        return None
+
+    def _binop(self, node: ast.BinOp) -> Optional[Dim]:
+        left = self._dim(node.left)
+        right = self._dim(node.right)
+        op = node.op
+        if isinstance(op, (ast.Add, ast.Sub)):
+            if (left is not None and right is not None
+                    and left != DIMENSIONLESS
+                    and right != DIMENSIONLESS and left != right):
+                sym = "+" if isinstance(op, ast.Add) else "-"
+                self.events.append(DimEvent(
+                    "mix", node,
+                    f"'{_describe(node.left)} {sym} "
+                    f"{_describe(node.right)}' mixes "
+                    f"[{format_dim(left)}] and [{format_dim(right)}]"))
+                return left
+            if left is None or left == DIMENSIONLESS:
+                return right if right not in (None, DIMENSIONLESS) \
+                    else left if left is not None else right
+            return left
+        if isinstance(op, ast.Mult):
+            if left is None or right is None:
+                return None
+            return dim_mul(left, right)
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            if left is None or right is None:
+                return None
+            return dim_mul(left, right, -1)
+        if isinstance(op, ast.Pow):
+            if (left is not None
+                    and isinstance(node.right, ast.Constant)
+                    and isinstance(node.right.value, int)):
+                return dim_pow(left, node.right.value)
+            return None
+        if isinstance(op, ast.Mod):
+            return left
+        return None
+
+    def _compare(self, node: ast.Compare) -> None:
+        dims = [self._dim(node.left)]
+        dims.extend(self._dim(c) for c in node.comparators)
+        known = [(d, i) for i, d in enumerate(dims)
+                 if d is not None and d != DIMENSIONLESS]
+        for (a, _), (b, j) in zip(known, known[1:]):
+            if a != b:
+                self.events.append(DimEvent(
+                    "compare", node,
+                    f"comparison mixes [{format_dim(a)}] and "
+                    f"[{format_dim(b)}]"))
+                break
+
+    def _call(self, node: ast.Call) -> Optional[Dim]:
+        arg_dims = [self._dim(arg) for arg in node.args]
+        for kw in node.keywords:
+            self._dim(kw.value)
+        name = _terminal(node.func)
+        if name is None:
+            return None
+        if name in self._PASSTHROUGH and arg_dims:
+            return arg_dims[0]
+        if name in self._CONSISTENT:
+            known = [d for d in arg_dims
+                     if d is not None and d != DIMENSIONLESS]
+            if known and all(d == known[0] for d in known):
+                return known[0]
+            return None
+        self._check_args(node, name, arg_dims)
+        return self.known_returns.get(name)
+
+    def _check_args(self, node: ast.Call, name: str,
+                    arg_dims: Sequence[Optional[Dim]]) -> None:
+        params = self.param_table.get(name)
+        if params is None:
+            return
+        for i, (arg, dim) in enumerate(zip(node.args, arg_dims)):
+            if i >= len(params):
+                break
+            pname, pdim = params[i]
+            self._check_one_arg(node, name, arg, dim, pname, pdim)
+        by_name = dict(params)
+        for kw in node.keywords:
+            if kw.arg in by_name:
+                self._check_one_arg(node, name, kw.value,
+                                    self._dim(kw.value), kw.arg,
+                                    by_name[kw.arg])
+
+    def _check_one_arg(self, call: ast.Call, fname: str, arg: ast.AST,
+                       dim: Optional[Dim], pname: str,
+                       pdim: Optional[Dim]) -> None:
+        if dim is None or pdim is None:
+            return
+        if dim == DIMENSIONLESS or dim == pdim:
+            return
+        self.events.append(DimEvent(
+            "arg", arg,
+            f"passes [{format_dim(dim)}] to parameter '{pname}' "
+            f"[{format_dim(pdim)}] of {fname}()"))
+
+
+def _terminal(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _describe(node: ast.AST) -> str:
+    name = _terminal(node)
+    if name is not None:
+        return name
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on exprs
+        return "<expr>"

@@ -3,12 +3,22 @@
 Usage::
 
     python -m repro.analysis.lint src/            # or: repro lint src/
+    python -m repro.analysis.lint --deep src/     # + REP1xx semantic pass
     python -m repro.analysis.lint --list-rules
-    python -m repro.analysis.lint --select REP001,REP003 src/ tests/
+    python -m repro.analysis.lint --select REP001,REP102 --deep src/
+    python -m repro.analysis.lint --deep --sarif out.sarif src/
 
-Exit status is non-zero when findings remain after suppressions, so
-the command is usable as a CI gate.  Suppress a single line with
-``# repro: noqa[REP003]`` (comma-separated IDs) or ``# repro: noqa``.
+Every file is read and parsed exactly once per run; the parsed
+:class:`~repro.analysis.rules.FileContext` objects are shared by all
+shallow rules and (with ``--deep``) the project-wide semantic pass.
+
+Exit status: 0 when clean, 1 when findings remain after suppressions
+and the baseline, 2 when the analysis itself failed (bad arguments,
+unreadable files, a rule crash) — so a red CI gate is diagnosable
+from the code alone.  Suppress a single line with
+``# repro: noqa[REP003]`` (comma-separated IDs) or ``# repro: noqa``;
+accept a legacy finding by adding it to the baseline file
+(``--write-baseline`` regenerates it).
 """
 
 from __future__ import annotations
@@ -19,11 +29,16 @@ import json
 import os
 import re
 import sys
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import (Counter as CounterT, Dict, Iterable, List, Optional,
+                    Sequence, Set, Tuple)
+from collections import Counter
 
 from .rules import (RULES, FileContext, Finding, Rule,
                     collect_frozen_classes)
+from .semantic import DEEP_RULES, DeepRule, check_project
 
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\[(?P<ids>[A-Z0-9,\s]+)\])?", re.IGNORECASE)
@@ -31,6 +46,9 @@ _NOQA_RE = re.compile(
 #: Directory names never descended into.
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis",
                         ".pytest_cache", ".benchmarks", "build", "dist"})
+
+#: Baseline file consulted by default (repo root, checked in).
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
 
 
 @dataclass(frozen=True)
@@ -40,17 +58,25 @@ class LintReport:
     findings: Tuple[Finding, ...]
     files_checked: int
     suppressed: int
+    #: Findings accepted by the checked-in baseline file.
+    baselined: int = 0
+    #: Wall time of the rule passes (parse + shallow + deep), seconds.
+    duration_s: float = 0.0
 
     @property
     def ok(self) -> bool:
         return not self.findings
 
-    def format(self) -> str:
+    def format(self, stats: bool = False) -> str:
         lines = [f.format() for f in self.findings]
         summary = (f"{len(self.findings)} finding(s) in "
                    f"{self.files_checked} file(s)"
                    + (f", {self.suppressed} suppressed"
-                      if self.suppressed else ""))
+                      if self.suppressed else "")
+                   + (f", {self.baselined} baselined"
+                      if self.baselined else ""))
+        if stats:
+            summary += f" [{self.duration_s * 1000.0:.1f} ms]"
         return "\n".join([*lines, summary])
 
 
@@ -80,14 +106,19 @@ def _apply_suppressions(findings: Iterable[Finding],
     return kept, suppressed
 
 
-def _select_rules(select: Optional[Sequence[str]]) -> Tuple[Rule, ...]:
+def _select_rules(select: Optional[Sequence[str]]
+                  ) -> Tuple[Tuple[Rule, ...], Tuple[DeepRule, ...]]:
+    """Split a ``--select`` list into (shallow, deep) rule tuples."""
     if not select:
-        return RULES
+        return RULES, DEEP_RULES
     wanted = {s.strip().upper() for s in select if s.strip()}
-    unknown = wanted - {rule.rule_id for rule in RULES}
+    known = {rule.rule_id for rule in RULES} \
+        | {rule.rule_id for rule in DEEP_RULES}
+    unknown = wanted - known
     if unknown:
         raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
-    return tuple(rule for rule in RULES if rule.rule_id in wanted)
+    return (tuple(r for r in RULES if r.rule_id in wanted),
+            tuple(r for r in DEEP_RULES if r.rule_id in wanted))
 
 
 def _check_context(ctx: FileContext,
@@ -107,7 +138,8 @@ def lint_source(source: str, path: str = "<string>",
     frozen = collect_frozen_classes([tree]) | set(extra_frozen)
     ctx = FileContext(path=path, source=source, tree=tree,
                       frozen_classes=frozen)
-    kept, suppressed = _check_context(ctx, _select_rules(select))
+    shallow, _ = _select_rules(select)
+    kept, suppressed = _check_context(ctx, shallow)
     return LintReport(findings=tuple(kept), files_checked=1,
                       suppressed=suppressed)
 
@@ -130,39 +162,121 @@ def _iter_python_files(paths: Sequence[str]) -> Iterable[str]:
                     yield os.path.join(dirpath, filename)
 
 
+# ---------------------------------------------------------------------------
+# baseline
+# ---------------------------------------------------------------------------
+
+def _fingerprint(finding: Finding) -> Tuple[str, str, str]:
+    """Line-number-independent identity of a finding, so unrelated
+    edits above an accepted legacy finding don't un-accept it."""
+    return (finding.rule_id, finding.path.replace("\\", "/"),
+            finding.message)
+
+
+def load_baseline(path: str) -> CounterT[Tuple[str, str, str]]:
+    """Accepted-finding fingerprints from a baseline file (a multiset:
+    two identical legacy findings need two entries)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    entries = doc.get("entries", []) if isinstance(doc, dict) else []
+    baseline: CounterT[Tuple[str, str, str]] = Counter()
+    for entry in entries:
+        baseline[(str(entry["rule"]), str(entry["path"]),
+                  str(entry["message"]))] += 1
+    return baseline
+
+
+def write_baseline(findings: Sequence[Finding], path: str) -> None:
+    entries = [{"rule": f.rule_id,
+                "path": f.path.replace("\\", "/"),
+                "message": f.message}
+               for f in sorted(findings, key=_fingerprint)]
+    doc = {"comment": "Accepted legacy repro-lint findings. "
+                      "Regenerate with: repro lint --deep "
+                      "--write-baseline",
+           "entries": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=2)
+        handle.write("\n")
+
+
+def _apply_baseline(findings: Sequence[Finding],
+                    baseline: CounterT[Tuple[str, str, str]]
+                    ) -> Tuple[List[Finding], int]:
+    remaining = Counter(baseline)
+    kept: List[Finding] = []
+    accepted = 0
+    for finding in findings:
+        key = _fingerprint(finding)
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            accepted += 1
+            continue
+        kept.append(finding)
+    return kept, accepted
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
 def lint_paths(paths: Sequence[str],
-               select: Optional[Sequence[str]] = None) -> LintReport:
+               select: Optional[Sequence[str]] = None,
+               deep: bool = False,
+               baseline: Optional[CounterT[Tuple[str, str, str]]] = None,
+               ) -> LintReport:
     """Lint every ``.py`` file under ``paths`` (files or directories).
 
-    Runs in two passes so project-wide facts (the set of frozen
-    dataclass names REP005 tracks) see every file before any rule
-    fires.
+    Each file is read and parsed exactly once; the resulting
+    ``FileContext`` objects feed project-wide fact collection (frozen
+    dataclass names for REP005), every shallow rule, and — when
+    ``deep`` is set — the REP1xx semantic pass, in that order.
     """
-    rules = _select_rules(select)
-    parsed: List[Tuple[str, str, ast.Module]] = []
+    started = time.perf_counter()
+    shallow_rules, deep_rules = _select_rules(select)
+    contexts: List[FileContext] = []
     for filename in _iter_python_files(paths):
         with open(filename, "r", encoding="utf-8") as handle:
             source = handle.read()
-        parsed.append((filename, source,
-                       ast.parse(source, filename=filename)))
+        contexts.append(FileContext(
+            path=filename, source=source,
+            tree=ast.parse(source, filename=filename)))
 
-    frozen = collect_frozen_classes([tree for _, _, tree in parsed])
+    frozen = collect_frozen_classes([ctx.tree for ctx in contexts])
     all_findings: List[Finding] = []
     suppressed_total = 0
-    for filename, source, tree in parsed:
-        ctx = FileContext(path=filename, source=source, tree=tree,
-                          frozen_classes=frozen)
-        kept, suppressed = _check_context(ctx, rules)
+    for ctx in contexts:
+        ctx.frozen_classes = frozen
+        kept, suppressed = _check_context(ctx, shallow_rules)
         all_findings.extend(kept)
         suppressed_total += suppressed
+
+    if deep and deep_rules:
+        lines_of = {ctx.path: ctx.source.splitlines()
+                    for ctx in contexts}
+        deep_findings = check_project(contexts, deep_rules)
+        kept, suppressed = [], 0
+        for finding in deep_findings:
+            one, n = _apply_suppressions(
+                [finding], lines_of.get(finding.path, []))
+            kept.extend(one)
+            suppressed += n
+        all_findings.extend(kept)
+        suppressed_total += suppressed
+
+    baselined = 0
+    if baseline:
+        all_findings, baselined = _apply_baseline(all_findings, baseline)
     return LintReport(findings=tuple(all_findings),
-                      files_checked=len(parsed),
-                      suppressed=suppressed_total)
+                      files_checked=len(contexts),
+                      suppressed=suppressed_total,
+                      baselined=baselined,
+                      duration_s=time.perf_counter() - started)
 
 
 def _format_rule_list() -> str:
     lines = []
-    for rule in RULES:
+    for rule in [*RULES, *DEEP_RULES]:
         doc = (rule.__class__.__doc__ or "").strip().splitlines()
         lines.append(f"{rule.rule_id}  {rule.title}")
         for doc_line in doc:
@@ -181,8 +295,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--select", default="",
                         help="comma-separated rule IDs to run "
                              "(default: all)")
+    parser.add_argument("--deep", action="store_true",
+                        help="also run the project-wide REP1xx "
+                             "semantic pass (dimensions, macro-step/"
+                             "SoA contracts, kernel parity)")
     parser.add_argument("--format", dest="output_format", default="text",
                         choices=("text", "json"))
+    parser.add_argument("--sarif", metavar="FILE", default="",
+                        help="also write findings as SARIF 2.1.0 to "
+                             "FILE")
+    parser.add_argument("--baseline", metavar="FILE",
+                        default=DEFAULT_BASELINE,
+                        help="accepted-findings baseline (default: "
+                             f"{DEFAULT_BASELINE} when it exists); "
+                             "pass an empty string to disable")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings to the baseline "
+                             "file and exit 0")
+    parser.add_argument("--stats", action="store_true",
+                        help="report wall time with the summary")
     parser.add_argument("--list-rules", action="store_true",
                         help="describe every rule and exit")
     return parser
@@ -196,14 +327,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     paths = args.paths or ["src"]
     select = [s for s in args.select.split(",") if s.strip()] or None
     try:
-        report = lint_paths(paths, select=select)
+        baseline: Optional[CounterT[Tuple[str, str, str]]] = None
+        if (args.baseline and os.path.exists(args.baseline)
+                and not args.write_baseline):
+            baseline = load_baseline(args.baseline)
+        report = lint_paths(paths, select=select, deep=args.deep,
+                            baseline=baseline)
+        if args.write_baseline:
+            target = args.baseline or DEFAULT_BASELINE
+            write_baseline(report.findings, target)
+            print(f"wrote {len(report.findings)} finding(s) to "
+                  f"{target}")
+            return 0
+        if args.sarif:
+            from .sarif import write_sarif
+            write_sarif(report.findings, args.sarif)
     except (ValueError, OSError, SyntaxError) as exc:
+        # Expected operational failures: bad --select, missing path,
+        # unparseable file.
         print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+    except Exception:  # noqa: BLE001 - a crashed rule is exit 2,
+        # distinguishable in CI from exit 1 (real findings).
+        traceback.print_exc()
+        print("repro-lint: internal error while running rules",
+              file=sys.stderr)
         return 2
     if args.output_format == "json":
         payload: Dict[str, object] = {
             "files_checked": report.files_checked,
             "suppressed": report.suppressed,
+            "baselined": report.baselined,
+            "duration_s": report.duration_s,
             "findings": [
                 {"path": f.path, "line": f.line, "col": f.col,
                  "rule": f.rule_id, "message": f.message, "hint": f.hint}
@@ -211,7 +366,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         }
         print(json.dumps(payload, indent=2))
     else:
-        print(report.format())
+        print(report.format(stats=args.stats))
     return 0 if report.ok else 1
 
 

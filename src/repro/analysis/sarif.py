@@ -1,0 +1,181 @@
+"""SARIF 2.1.0 export for repro-lint findings.
+
+SARIF (Static Analysis Results Interchange Format, OASIS) is what
+GitHub code scanning ingests; the CI ``lint-deep`` job uploads the
+file this module writes.  Only the small, stable core of the format
+is emitted: one run, one tool driver with the full rule catalogue,
+one result per finding with a physical location.
+
+:func:`validate_sarif` is a structural checker for the subset we emit
+(the test suite runs it against every export) — it enforces the
+2.1.0 schema's required properties and types without needing a JSON
+Schema engine in the container.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .rules import RULES, Finding, Rule
+from .semantic import DEEP_RULES
+
+__all__ = ["to_sarif", "write_sarif", "validate_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+_TOOL_NAME = "repro-lint"
+
+
+def _rule_descriptor(rule: Rule) -> Dict[str, object]:
+    doc = (rule.__class__.__doc__ or "").strip().splitlines()
+    full = " ".join(line.strip() for line in doc if line.strip())
+    return {
+        "id": rule.rule_id,
+        "name": rule.__class__.__name__,
+        "shortDescription": {"text": rule.title},
+        "fullDescription": {"text": full or rule.title},
+        "help": {"text": f"fix: {rule.autofix_hint}"},
+        "defaultConfiguration": {"level": "warning"},
+    }
+
+
+def _uri(path: str) -> str:
+    uri = path.replace("\\", "/")
+    while uri.startswith("./"):
+        uri = uri[2:]
+    return uri
+
+
+def to_sarif(findings: Sequence[Finding]) -> Dict[str, object]:
+    """Build a SARIF 2.1.0 log dict for ``findings``."""
+    all_rules: List[Rule] = [*RULES, *DEEP_RULES]
+    rule_index = {rule.rule_id: i for i, rule in enumerate(all_rules)}
+    results: List[Dict[str, object]] = []
+    for finding in findings:
+        result: Dict[str, object] = {
+            "ruleId": finding.rule_id,
+            "level": "warning",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": _uri(finding.path)},
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        # SARIF columns are 1-based; Finding.col is
+                        # the 0-based AST col_offset.
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        }
+        if finding.rule_id in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule_id]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": _TOOL_NAME,
+                "informationUri":
+                    "https://example.invalid/repro-lint",
+                "rules": [_rule_descriptor(r) for r in all_rules],
+            }},
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
+
+
+def write_sarif(findings: Sequence[Finding], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_sarif(findings), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def validate_sarif(doc: object) -> List[str]:
+    """Structural 2.1.0 validation of the subset repro-lint emits.
+
+    Returns a list of problems (empty when the document is valid).
+    """
+    problems: List[str] = []
+
+    def check(cond: bool, message: str) -> bool:
+        if not cond:
+            problems.append(message)
+        return cond
+
+    if not check(isinstance(doc, dict), "document is not an object"):
+        return problems
+    assert isinstance(doc, dict)
+    check(doc.get("version") == SARIF_VERSION,
+          f"version must be '{SARIF_VERSION}'")
+    runs = doc.get("runs")
+    if not check(isinstance(runs, list) and len(runs) >= 1,
+                 "runs must be a non-empty array"):
+        return problems
+    for ri, run in enumerate(runs):  # type: ignore[union-attr]
+        if not check(isinstance(run, dict), f"runs[{ri}] not an object"):
+            continue
+        driver = run.get("tool", {}).get("driver") \
+            if isinstance(run.get("tool"), dict) else None
+        if check(isinstance(driver, dict),
+                 f"runs[{ri}].tool.driver missing"):
+            check(isinstance(driver.get("name"), str)
+                  and bool(driver.get("name")),
+                  f"runs[{ri}].tool.driver.name must be a string")
+            rules = driver.get("rules", [])
+            check(isinstance(rules, list),
+                  f"runs[{ri}].tool.driver.rules must be an array")
+            rule_count = len(rules) if isinstance(rules, list) else 0
+            for qi, rule in enumerate(rules or []):
+                check(isinstance(rule, dict)
+                      and isinstance(rule.get("id"), str),
+                      f"runs[{ri}].rules[{qi}].id must be a string")
+        else:
+            rule_count = 0
+        results = run.get("results", [])
+        if not check(isinstance(results, list),
+                     f"runs[{ri}].results must be an array"):
+            continue
+        for si, result in enumerate(results):
+            where = f"runs[{ri}].results[{si}]"
+            if not check(isinstance(result, dict),
+                         f"{where} not an object"):
+                continue
+            message = result.get("message")
+            check(isinstance(message, dict)
+                  and isinstance(message.get("text"), str),
+                  f"{where}.message.text must be a string")
+            check(isinstance(result.get("ruleId"), str),
+                  f"{where}.ruleId must be a string")
+            if "ruleIndex" in result:
+                idx = result["ruleIndex"]
+                check(isinstance(idx, int)
+                      and 0 <= idx < rule_count,
+                      f"{where}.ruleIndex out of range")
+            for li, loc in enumerate(result.get("locations", [])):
+                lwhere = f"{where}.locations[{li}]"
+                phys = loc.get("physicalLocation") \
+                    if isinstance(loc, dict) else None
+                if not check(isinstance(phys, dict),
+                             f"{lwhere}.physicalLocation missing"):
+                    continue
+                art = phys.get("artifactLocation")
+                check(isinstance(art, dict)
+                      and isinstance(art.get("uri"), str),
+                      f"{lwhere}.artifactLocation.uri must be a "
+                      f"string")
+                region = phys.get("region")
+                if isinstance(region, dict):
+                    start = region.get("startLine")
+                    check(isinstance(start, int) and start >= 1,
+                          f"{lwhere}.region.startLine must be >= 1")
+                    col = region.get("startColumn")
+                    if col is not None:
+                        check(isinstance(col, int) and col >= 1,
+                              f"{lwhere}.region.startColumn must be "
+                              f">= 1")
+    return problems

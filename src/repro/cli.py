@@ -425,11 +425,13 @@ def build_parser() -> argparse.ArgumentParser:
     profile_p.set_defaults(func=_cmd_profile)
 
     lint_p = sub.add_parser(
-        "lint", help="run repro-lint static analysis (REP001-REP006)",
+        "lint", help="run repro-lint static analysis (REP001-REP007 "
+                     "shallow; REP101-REP104 semantic with --deep)",
         add_help=False)
     lint_p.add_argument("lint_args", nargs=argparse.REMAINDER,
                         help="arguments for repro.analysis.lint "
-                             "(paths, --select, --format, --list-rules)")
+                             "(paths, --select, --deep, --sarif, "
+                             "--format, --stats, --list-rules)")
     lint_p.set_defaults(func=_cmd_lint)
 
     return parser

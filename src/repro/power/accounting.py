@@ -82,8 +82,8 @@ class PowerAccountant:
         pos = {name: i for i, name in enumerate(names)}
         leak = [self.energy.leakage_watts(n, floorplan.area(n))
                 for n in names]
-        self._leak_vec = np.array(leak)
-        self._leak_total = sum(leak)
+        self._leak_vec_w = np.array(leak)
+        self._leak_total_w = sum(leak)
         self._nj = np.zeros(len(names))
         # -1 marks an accounting target absent from this floorplan:
         # its energy still lands in the run total (mirroring the old
@@ -145,7 +145,7 @@ class PowerAccountant:
         nj = self._nj
         nj[:] = 0.0
         misc = self._misc_idx
-        nj_sum = 0.0
+        sum_nj = 0.0
 
         int_halves = _iq_half_energies(prev.int_iq, cur.int_iq, e.issue_queue)
         fp_halves = _iq_half_energies(prev.fp_iq, cur.fp_iq, e.issue_queue)
@@ -153,23 +153,23 @@ class PowerAccountant:
                             ("IntQ1", int_halves[1]),
                             ("FPQ0", fp_halves[0]),
                             ("FPQ1", fp_halves[1])):
-            nj_sum += value
+            sum_nj += value
             i = misc[name]
             if i >= 0:
                 nj[i] = value
 
         for j, i in enumerate(self._alu_idx):
             value = (cur.alu_ops[j] - prev.alu_ops[j]) * e.int_alu_op
-            nj_sum += value
+            sum_nj += value
             if i >= 0:
                 nj[i] = value
         for j, i in enumerate(self._fp_add_idx):
             value = (cur.fp_add_ops[j] - prev.fp_add_ops[j]) * e.fp_add_op
-            nj_sum += value
+            sum_nj += value
             if i >= 0:
                 nj[i] = value
         value = (cur.fp_mul_ops - prev.fp_mul_ops) * e.fp_mul_op
-        nj_sum += value
+        sum_nj += value
         if misc["FPMul"] >= 0:
             nj[misc["FPMul"]] = value
 
@@ -177,7 +177,7 @@ class PowerAccountant:
             reads = cur.rf_reads[j] - prev.rf_reads[j]
             writes = cur.rf_writes[j] - prev.rf_writes[j]
             value = reads * e.rf_read + writes * e.rf_write
-            nj_sum += value
+            sum_nj += value
             if i >= 0:
                 nj[i] = value
 
@@ -196,14 +196,14 @@ class PowerAccountant:
                 ("LdStQ", l1d * e.lsq_op),
                 ("ITB", fetched * e.tlb_lookup),
                 ("DTB", l1d * e.tlb_lookup)):
-            nj_sum += value
+            sum_nj += value
             i = misc[name]
             if i >= 0:
                 nj[i] = value
 
-        powers = self._leak_vec + nj * NANOJOULE / interval_s
-        self.total_energy_j += (self._leak_total * interval_s
-                                + nj_sum * NANOJOULE)
+        powers = self._leak_vec_w + nj * NANOJOULE / interval_s
+        self.total_energy_j += (self._leak_total_w * interval_s
+                                + sum_nj * NANOJOULE)
         block_energy = self.block_energy_j
         for name, energy_j in zip(self._names,
                                   (powers * interval_s).tolist()):

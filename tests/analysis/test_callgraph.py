@@ -1,0 +1,176 @@
+"""Unit tests for the project index / call graph built for the deep
+lint pass, against a small synthetic package."""
+
+import ast
+
+from repro.analysis.callgraph import (CallGraph, build_project_index)
+from repro.analysis.rules import FileContext
+
+
+def ctx(path, source):
+    return FileContext(path=path, source=source,
+                       tree=ast.parse(source, filename=path))
+
+
+def build(files):
+    contexts = [ctx(path, source) for path, source in files.items()]
+    index = build_project_index(contexts)
+    return index, CallGraph(index)
+
+
+PACKAGE = {
+    "pkg/core.py": """
+class Manager:
+    def __init__(self, turn_off=None):
+        self._turn_off = turn_off
+
+    def on_sample(self):
+        self.observe()
+
+    def observe(self):
+        self._turn_off(0)
+""",
+    "pkg/proc.py": """
+class Processor:
+    def set_busy(self, i, value):
+        self.flags[i] = value
+
+    def wire(self):
+        return Manager(turn_off=lambda i: self.set_busy(i, True))
+
+def helper():
+    return 41
+
+def unrelated():
+    return helper() + 1
+""",
+}
+
+
+class TestProjectIndex:
+    def test_functions_and_classes_indexed(self):
+        index, _ = build(PACKAGE)
+        assert "pkg/core.py::Manager.on_sample" in index.functions
+        assert index.classes["Manager"] == ["pkg/core.py"]
+        names = {i.qualname for i in index.by_name["helper"]}
+        assert names == {"pkg/proc.py::helper"}
+
+    def test_method_key_includes_class(self):
+        index, _ = build(PACKAGE)
+        info = index.functions["pkg/core.py::Manager.observe"]
+        assert info.method_key == "Manager.observe"
+        assert info.class_name == "Manager"
+
+    def test_lambda_registered_by_position(self):
+        index, _ = build(PACKAGE)
+        lambdas = [i for i in index.functions.values() if i.is_lambda]
+        assert len(lambdas) == 1
+        assert lambdas[0].path == "pkg/proc.py"
+        assert (lambdas[0].path, lambdas[0].lineno) in index.lambdas_at
+
+
+class TestCallGraphEdges:
+    def test_name_call_resolves_to_project_function(self):
+        _, graph = build(PACKAGE)
+        assert ("pkg/proc.py::helper"
+                in graph.callees("pkg/proc.py::unrelated"))
+
+    def test_method_call_resolves_by_simple_name(self):
+        _, graph = build(PACKAGE)
+        assert ("pkg/core.py::Manager.observe"
+                in graph.callees("pkg/core.py::Manager.on_sample"))
+
+    def test_external_call_contributes_no_edges(self):
+        files = dict(PACKAGE)
+        files["pkg/ext.py"] = """
+import numpy as np
+
+def alloc():
+    return np.zeros(4)
+"""
+        _, graph = build(files)
+        assert graph.callees("pkg/ext.py::alloc") == set()
+
+    def test_builtin_shadow_not_linked(self):
+        files = {
+            "pkg/shadow.py": """
+def len(x):
+    return 0
+
+def use(x):
+    return len(x)
+""",
+        }
+        _, graph = build(files)
+        assert graph.callees("pkg/shadow.py::use") == set()
+
+    def test_callback_flows_through_keyword_and_attribute(self):
+        """The DTM wiring pattern: a lambda passed as ``turn_off=``,
+        stored on an attribute, called through the attribute."""
+        index, graph = build(PACKAGE)
+        observe = "pkg/core.py::Manager.observe"
+        targets = graph.callees(observe)
+        lam = next(i.qualname for i in index.functions.values()
+                   if i.is_lambda)
+        assert lam in targets
+        reach = graph.reachable(["pkg/core.py::Manager.on_sample"])
+        assert "pkg/proc.py::Processor.set_busy" in reach
+
+    def test_computed_call_expands_to_address_taken(self):
+        files = {
+            "pkg/tab.py": """
+def a():
+    pass
+
+def b():
+    pass
+
+HANDLERS = [a, b]
+
+def dispatch(i):
+    HANDLERS[i]()
+""",
+        }
+        _, graph = build(files)
+        targets = graph.callees("pkg/tab.py::dispatch")
+        assert {"pkg/tab.py::a", "pkg/tab.py::b"} <= targets
+
+
+class TestReachability:
+    def test_roots_included_and_transitive(self):
+        _, graph = build(PACKAGE)
+        reach = graph.reachable(["pkg/core.py::Manager.on_sample"])
+        assert "pkg/core.py::Manager.on_sample" in reach
+        assert "pkg/core.py::Manager.observe" in reach
+        assert "pkg/proc.py::unrelated" not in reach
+
+    def test_unknown_root_ignored(self):
+        _, graph = build(PACKAGE)
+        assert graph.reachable(["no/such.py::f"]) == set()
+
+
+class TestEnclosingFunction:
+    def test_innermost_function_wins(self):
+        files = {
+            "pkg/nest.py": """
+def outer():
+    x = 1
+    def inner():
+        y = 2
+        return y
+    return inner
+""",
+        }
+        index, graph = build(files)
+        inner = index.functions["pkg/nest.py::outer.inner"]
+        target = next(n for n in ast.walk(inner.node)
+                      if isinstance(n, ast.Assign))
+        found = graph.enclosing_function("pkg/nest.py", target)
+        assert found is not None and found.name == "inner"
+
+    def test_module_level_returns_none(self):
+        files = {"pkg/mod.py": "X = 3\n\ndef f():\n    return X\n"}
+        index, graph = build(files)
+        tree = index.contexts[0].tree
+        assign = tree.body[0]
+        assert graph.enclosing_function("pkg/mod.py", assign) is None

@@ -1,0 +1,132 @@
+"""SARIF 2.1.0 export tests: structural validation of every emitted
+document plus a golden-file snapshot."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.lint import main
+from repro.analysis.rules import RULES, Finding
+from repro.analysis.sarif import (SARIF_VERSION, to_sarif,
+                                  validate_sarif, write_sarif)
+from repro.analysis.semantic import DEEP_RULES
+
+GOLDEN = os.path.join(os.path.dirname(__file__), "golden",
+                      "lint.sarif")
+
+FINDINGS = (
+    Finding(path="src/repro/power/acct.py", line=12, col=4,
+            rule_id="REP101",
+            message="'a + b' mixes [J] and [s]",
+            hint="convert explicitly"),
+    Finding(path="src/repro/core/dtm.py", line=3, col=0,
+            rule_id="REP102",
+            message="gating state '.mode' written in tick(), which is "
+                    "not reachable from an on_sample boundary",
+            hint="route the write through a DTM mechanism"),
+)
+
+
+class TestToSarif:
+    def test_emitted_document_is_valid(self):
+        doc = to_sarif(FINDINGS)
+        assert validate_sarif(doc) == []
+
+    def test_version_and_schema(self):
+        doc = to_sarif(FINDINGS)
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+
+    def test_all_rules_catalogued(self):
+        doc = to_sarif(())
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        ids = [r["id"] for r in rules]
+        assert ids == [r.rule_id for r in (*RULES, *DEEP_RULES)]
+
+    def test_result_points_at_finding(self):
+        doc = to_sarif(FINDINGS)
+        result = doc["runs"][0]["results"][0]
+        assert result["ruleId"] == "REP101"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == \
+            "src/repro/power/acct.py"
+        assert loc["region"]["startLine"] == 12
+        # SARIF columns are 1-based; Finding.col is 0-based.
+        assert loc["region"]["startColumn"] == 5
+
+    def test_rule_index_references_catalogue(self):
+        doc = to_sarif(FINDINGS)
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        for result in doc["runs"][0]["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_empty_findings_still_valid(self):
+        doc = to_sarif(())
+        assert validate_sarif(doc) == []
+        assert doc["runs"][0]["results"] == []
+
+
+class TestGoldenSnapshot:
+    def test_matches_checked_in_golden(self):
+        rendered = json.dumps(to_sarif(FINDINGS), indent=2,
+                              sort_keys=True) + "\n"
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            assert handle.read() == rendered
+
+    def test_golden_is_valid_sarif(self):
+        with open(GOLDEN, "r", encoding="utf-8") as handle:
+            assert validate_sarif(json.load(handle)) == []
+
+
+class TestValidator:
+    def test_rejects_wrong_version(self):
+        doc = to_sarif(())
+        doc["version"] = "2.0.0"
+        assert any("version" in p for p in validate_sarif(doc))
+
+    def test_rejects_missing_runs(self):
+        assert validate_sarif({"version": "2.1.0", "runs": []})
+
+    def test_rejects_message_without_text(self):
+        doc = to_sarif(FINDINGS)
+        del doc["runs"][0]["results"][0]["message"]["text"]
+        assert any("message.text" in p for p in validate_sarif(doc))
+
+    def test_rejects_zero_start_line(self):
+        doc = to_sarif(FINDINGS)
+        loc = doc["runs"][0]["results"][0]["locations"][0]
+        loc["physicalLocation"]["region"]["startLine"] = 0
+        assert any("startLine" in p for p in validate_sarif(doc))
+
+    def test_rejects_rule_index_out_of_range(self):
+        doc = to_sarif(FINDINGS)
+        doc["runs"][0]["results"][0]["ruleIndex"] = 999
+        assert any("ruleIndex" in p for p in validate_sarif(doc))
+
+    def test_rejects_non_object(self):
+        assert validate_sarif([]) == ["document is not an object"]
+
+
+class TestWriteSarif:
+    def test_roundtrip(self, tmp_path):
+        out = tmp_path / "out.sarif"
+        write_sarif(FINDINGS, str(out))
+        doc = json.loads(out.read_text())
+        assert validate_sarif(doc) == []
+        assert len(doc["runs"][0]["results"]) == 2
+
+    def test_driver_writes_sarif_for_deep_run(self, tmp_path, capsys):
+        tree = tmp_path / "tree" / "power"
+        tree.mkdir(parents=True)
+        (tree / "acct.py").write_text(
+            "def sample(energy_j, interval_s):\n"
+            "    return energy_j + interval_s\n")
+        out = tmp_path / "deep.sarif"
+        code = main(["--deep", str(tmp_path / "tree"),
+                     "--sarif", str(out), "--baseline", ""])
+        assert code == 1
+        doc = json.loads(out.read_text())
+        assert validate_sarif(doc) == []
+        assert any(r["ruleId"] == "REP101"
+                   for r in doc["runs"][0]["results"])

@@ -111,5 +111,5 @@ class TestVectorPath:
         recomputation exactly."""
         acc, _ = accountant_and_processor()
         leak = acc.leakage_powers()
-        assert list(acc._leak_vec) == [leak[name]
-                                       for name in acc.floorplan.names]
+        assert list(acc._leak_vec_w) == [leak[name]
+                                         for name in acc.floorplan.names]

@@ -412,7 +412,7 @@ class SoaViewDisciplineRule(DeepRule):
 
 class KernelParityRule(DeepRule):
     """REP104: counters bumped by the reference loop are landed by the
-    kernel.
+    kernel — on the per-run path *and* on the batched path.
 
     The reference per-cycle loop is everything reachable from
     ``Processor.step`` (``pipeline/processor.py``); the kernel side is
@@ -421,6 +421,13 @@ class KernelParityRule(DeepRule):
     accumulators with vectorized adds).  Any SoA counter written on
     the reference side but never on the kernel side diverges the
     moment ``REPRO_KERNEL=1`` — flagged at the reference write site.
+
+    When a ``run_batch`` entry point exists, the same parity is
+    additionally required of everything reachable from it: a batched
+    run's counters (attr and IQC_* index keys, held per run on the
+    run-axis store) must be landed by code the batched kernel actually
+    reaches — a counter only the per-run driver lands would silently
+    diverge under ``REPRO_BATCH=1``.
     """
 
     rule_id = "REP104"
@@ -432,6 +439,7 @@ class KernelParityRule(DeepRule):
     REFERENCE_FILE = "pipeline/processor.py"
     REFERENCE_ROOT = "step"
     KERNEL_FILE = "pipeline/kernel.py"
+    BATCH_ROOT = "run_batch"
     COUNTER_SCOPE = ("pipeline/",)
 
     def check_project(self,
@@ -445,32 +453,45 @@ class KernelParityRule(DeepRule):
             return  # nothing to compare (e.g. partial lint scope)
         ref_funcs = graph.reachable(ref_roots)
         kernel_funcs = graph.reachable(kernel_roots)
+        batch_roots = [i.qualname for i in index.functions_matching(
+            self.BATCH_ROOT, path_suffix=self.KERNEL_FILE)]
+        batch_funcs = (graph.reachable(batch_roots)
+                       if batch_roots else None)
 
         attr_aliases = _alias_maps(index)
         ref_writes: Dict[str, Tuple[str, ast.AST]] = {}
         kernel_keys: Set[str] = set()
+        batch_keys: Set[str] = set()
         for qual, info in index.functions.items():
             if not _in_scope(info.path, self.COUNTER_SCOPE):
                 continue
             extractor = _CounterWrites(info.path, attr_aliases)
             in_ref = qual in ref_funcs
             in_kernel = qual in kernel_funcs
-            if not (in_ref or in_kernel):
+            in_batch = batch_funcs is not None and qual in batch_funcs
+            if not (in_ref or in_kernel or in_batch):
                 continue
             for key, node in extractor.writes(info.node):
                 if in_kernel:
                     kernel_keys.add(key)
+                if in_batch:
+                    batch_keys.add(key)
                 if in_ref:
                     ref_writes.setdefault(key, (info.path, node))
         for key in sorted(ref_writes):
-            if key in kernel_keys:
-                continue
             path, node = ref_writes[key]
-            yield self.finding_at(
-                path, node,
-                f"counter '{key}' is updated by the reference "
-                f"per-cycle loop but never landed by the kernel "
-                f"(pipeline/kernel.py)")
+            if key not in kernel_keys:
+                yield self.finding_at(
+                    path, node,
+                    f"counter '{key}' is updated by the reference "
+                    f"per-cycle loop but never landed by the kernel "
+                    f"(pipeline/kernel.py)")
+            elif batch_funcs is not None and key not in batch_keys:
+                yield self.finding_at(
+                    path, node,
+                    f"counter '{key}' is updated by the reference "
+                    f"per-cycle loop but never landed on the batched "
+                    f"kernel path (run_batch in pipeline/kernel.py)")
 
 
 DEEP_RULES: Tuple[DeepRule, ...] = (

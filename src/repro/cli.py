@@ -113,6 +113,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     print(experiment.format())
     stats = engine.stats
     print(f"\n[{stats.total} runs: {stats.cache_hits} cached, "
+          f"{stats.batched_runs} batched, "
           f"{stats.parallel_runs} parallel, {stats.inline_runs} inline; "
           f"jobs={engine.jobs}]")
     return 0
@@ -146,6 +147,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         stats = engine.stats
         print(f"report written to {args.output} "
               f"[{stats.total} runs: {stats.cache_hits} cached, "
+              f"{stats.batched_runs} batched, "
               f"{stats.parallel_runs} parallel, "
               f"{stats.inline_runs} inline]")
     return 0
@@ -204,8 +206,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     always exercises parallel dispatch), once more against the
     now-warm cache, and cold again serially at ``jobs=1`` — so the
     report's ``serial_wall_s``/``parallel_speedup`` fields capture the
-    parallel scaling trajectory on every run.  The measurements land
-    in a JSON report (default ``BENCH_parallel.json``).
+    parallel scaling trajectory on every run.  The serial pass runs
+    compatible runs through the batched kernel, and its all-runs
+    throughput is reported as ``grid_cycles_per_s`` alongside the
+    per-run ``cycles_per_s`` metrics.  The measurements land in a
+    JSON report (default ``BENCH_parallel.json``).
     """
     benchmarks = (_parse_benchmarks(args.benchmarks)
                   if args.benchmarks else tuple(BENCHMARK_NAMES))
@@ -291,6 +296,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             serial_wall = time.perf_counter() - start
             grid["serial_wall_s"] = serial_wall
             grid["parallel_speedup"] = serial_wall / cold_wall
+            # Grid throughput counts every run in flight: the serial
+            # cold pass executes compatible runs through the batched
+            # kernel (one invocation per warm-state group), so this is
+            # the honest all-runs metric next to the per-run
+            # ``cycles_per_s`` of ``single_run``.
+            grid["grid_cycles_per_s"] = total_cycles / serial_wall
+            grid["batched_runs"] = serial.stats.batched_runs
+            grid["batch_groups"] = serial.stats.batch_groups
             report["grids"].append(grid)
             line = (f"figure {figure}: {runs} runs, "
                     f"{cold_wall:.2f}s cold "
@@ -299,7 +312,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                     f"(hit rate {grid['cache_hit_rate']:.0%}), "
                     f"{restores} ckpt restore(s)")
             line += (f", {grid['serial_wall_s']:.2f}s serial "
-                     f"({grid['parallel_speedup']:.2f}x)")
+                     f"({grid['parallel_speedup']:.2f}x, "
+                     f"{grid['grid_cycles_per_s']:,.0f} grid cycles/s, "
+                     f"{grid['batched_runs']} runs in "
+                     f"{grid['batch_groups']} batch(es))")
             print(line)
 
     with open(args.output, "w") as handle:

@@ -332,6 +332,8 @@ def generate(figures: Sequence[str] = ("6", "7", "8"),
     report.heading(2, "Run accounting")
     report.paragraph(
         f"{stats.total} runs: {stats.cache_hits} answered from cache, "
+        f"{stats.batched_runs} batched "
+        f"(in {stats.batch_groups} lock-stepped group(s)), "
         f"{stats.parallel_runs} parallel, {stats.inline_runs} inline; "
         f"{stats.checkpoint_restores} checkpoint restore(s). "
         f"Regenerate with: repro report --figures "

@@ -268,6 +268,17 @@ class CompactingIssueQueue:
         #: cannot recycle the tag before that producer writes back).
         self._waiters: Dict[int, List[IQEntry]] = {}
 
+    def adopt_counter_storage(self, row: Any) -> None:
+        """Rebind counter storage to an externally-owned 15-slot row
+        (a :class:`~repro.pipeline.soa.RunAxisStore` segment), carrying
+        the current values over.  The public ``counters`` view is
+        rebuilt so boundary consumers keep reading live storage."""
+        if row.shape != self._c.shape or row.dtype != self._c.dtype:
+            raise ValueError("counter storage shape/dtype mismatch")
+        row[:] = self._c
+        self._c = row
+        self.counters = IssueQueueCounterView(row)
+
     # ------------------------------------------------------------------
     # position mapping
     # ------------------------------------------------------------------

@@ -36,6 +36,7 @@ across the full technique × floorplan matrix.
 from __future__ import annotations
 
 import os
+import pickle
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from .alu import _NEVER, _InFlight
@@ -47,6 +48,7 @@ from .soa import (IQC_BROADCASTS, IQC_CYCLES, IQC_INSERTS,
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .processor import Processor, ProcessorStats
+    from .soa import RunAxisStore
 
 #: Rename-table row offset for FP architectural registers (mirrors
 #: ``processor.FP_RENAME_OFFSET``; duplicated to avoid a module cycle).
@@ -731,3 +733,202 @@ def _run_chunk(proc: "Processor", n_cycles: int) -> Tuple[int, bool]:
                 if unit.busy:
                     unit._bank.busy_cycles[unit._slot] += active_cycles
     return now - start_cycle, finished
+
+
+# ---------------------------------------------------------------------------
+# Batched grid execution (run axis)
+# ---------------------------------------------------------------------------
+#
+# A figure grid runs many technique variants of one benchmark from one
+# shared warm state.  Under the macro-step contract the DTM mutates
+# gating state only at on_sample boundaries, so two variants execute
+# *identically* — cycle for cycle, counter for counter — until the
+# first boundary where their DTM decisions differ.  The batched path
+# exploits that: runs are grouped into execution-equivalence classes;
+# each class's leader executes chunks for real while its followers'
+# counter rows receive the leader's activity delta as one vectorized
+# broadcast per boundary.  Divergence is held as per-run state (the
+# gating tuple) rather than control flow: every run's own DTM still
+# observes its own thermal sensors and makes its own decisions each
+# boundary, and the moment a follower's post-DTM gating tuple differs
+# from its leader's, the follower forks — the leader's pipeline state
+# is restored into it, its own counter row and gating decisions are
+# overlaid, and it continues as a class of its own.
+
+
+def batch_enabled() -> bool:
+    """Whether the experiment engine may lock-step compatible run
+    groups through one batched kernel invocation (``REPRO_BATCH``).
+
+    Read from the environment on every call so tests can flip the
+    variable between runs without rebuilding anything.
+    """
+    return os.environ.get("REPRO_BATCH", "1") != "0"
+
+
+class BatchRun:
+    """One run's slot in a batched kernel invocation.
+
+    ``index`` is the run's row in the shared
+    :class:`~repro.pipeline.soa.RunAxisStore`.  ``reads_pipeline``
+    marks runs whose DTM inspects live pipeline state during
+    ``on_sample`` (the activity-toggling policy reads queue occupancy
+    and counters): such runs always execute for real — a follower's
+    pipeline objects are stale between boundaries — so they lead a
+    singleton class from the start.
+    """
+
+    __slots__ = ("proc", "index", "reads_pipeline")
+
+    def __init__(self, proc: "Processor", index: int,
+                 reads_pipeline: bool = False) -> None:
+        self.proc = proc
+        self.index = index
+        self.reads_pipeline = reads_pipeline
+
+
+class _ExecClass:
+    """Runs currently sharing one execution (leader executes,
+    followers receive broadcast deltas)."""
+
+    __slots__ = ("leader", "followers", "remaining", "prev_row")
+
+    def __init__(self, leader: BatchRun, followers: List[BatchRun],
+                 remaining: int, store: "RunAxisStore") -> None:
+        self.leader = leader
+        self.followers = followers
+        self.remaining = remaining
+        # Leader-row snapshot delimiting the next broadcast delta;
+        # refreshed after every boundary (so the leader's own DTM
+        # counter bumps — which followers make on their own rows —
+        # never leak into the execution delta).
+        self.prev_row = store.row(leader.index).copy() if followers else None
+
+
+def run_batch(runs: List[BatchRun], store: "RunAxisStore",
+              max_cycles: int, sample_interval: int,
+              on_boundary) -> None:
+    """Step every run of one warm-state group through the macro-step
+    loop in lock-step.
+
+    All runs must share the same ``now`` (one restored warm state),
+    the same replayable trace buffer, and adopted rows of ``store``.
+    ``on_boundary(class_runs)`` is called once per execution class at
+    every sampling boundary with the class leader first — the caller
+    samples power/thermal state for those runs (batched across the
+    run axis) and runs each run's DTM.  Boundary placement, the
+    sample-fire condition, and the drain break mirror
+    :func:`run_kernel` exactly, so per-run results are bit-identical
+    to the per-run kernel (and, transitively, the reference loop).
+    """
+    if sample_interval <= 0:
+        raise ValueError("batched execution requires a sampling interval")
+    if not runs:
+        return
+    now0 = runs[0].proc.now
+    for run in runs:
+        if run.proc.now != now0:
+            raise ValueError("batched runs must start in lock-step")
+    sharers = [r for r in runs if not r.reads_pipeline]
+    classes: List[_ExecClass] = []
+    if sharers:
+        classes.append(
+            _ExecClass(sharers[0], sharers[1:], max_cycles, store))
+    for run in runs:
+        if run.reads_pipeline:
+            classes.append(_ExecClass(run, [], max_cycles, store))
+    # Classes never interact after a split, so each runs to
+    # completion in turn; forks push fresh singleton classes.
+    while classes:
+        _run_class(classes.pop(), store, sample_interval,
+                   on_boundary, classes)
+
+
+def _run_class(cls: _ExecClass, store: "RunAxisStore",
+               sample_interval: int, on_boundary,
+               classes: List[_ExecClass]) -> None:
+    """Run one execution class to completion (drain or cycle budget)."""
+    leader = cls.leader
+    proc = leader.proc
+    data = store.data
+    while cls.remaining > 0:
+        to_boundary = sample_interval - proc.now % sample_interval
+        chunk = to_boundary if to_boundary < cls.remaining else cls.remaining
+        ran, finished = _run_chunk(proc, chunk)
+        cls.remaining -= ran
+        if cls.followers:
+            # Broadcast this chunk's execution delta to every run
+            # still sharing the leader's execution.
+            delta = data[leader.index] - cls.prev_row
+            for follower in cls.followers:
+                data[follower.index] += delta
+        if ran == chunk and chunk == to_boundary:
+            for follower in cls.followers:
+                _sync_scalars(follower.proc, proc)
+            on_boundary([leader, *cls.followers])
+            if cls.followers:
+                gate = proc.capture_gating()
+                blob: Optional[bytes] = None
+                kept: List[BatchRun] = []
+                for follower in cls.followers:
+                    if follower.proc.capture_gating() == gate:
+                        kept.append(follower)
+                        continue
+                    # Diverged: fork into a class of its own.
+                    if blob is None:
+                        blob = pickle.dumps(proc.snapshot_state())
+                    _adopt_leader_state(follower, proc, blob, store)
+                    classes.append(
+                        _ExecClass(follower, [], cls.remaining, store))
+                cls.followers = kept
+                if kept:
+                    cls.prev_row = data[leader.index].copy()
+        if finished:
+            break
+    if cls.followers:
+        # Class completed with followers still attached: give each
+        # follower the leader's final pipeline state (identical by
+        # construction) with its own counters and gating overlaid.
+        blob = pickle.dumps(proc.snapshot_state())
+        for follower in cls.followers:
+            _adopt_leader_state(follower, proc, blob, store)
+
+
+def _sync_scalars(follower: "Processor", leader: "Processor") -> None:
+    """Copy the scalar activity state a boundary consumer reads.
+
+    A follower's counter rows are kept correct by the broadcast; the
+    handful of scalars :meth:`Processor.activity_snapshot` reads (and
+    ``now``, which stall deadlines are computed against) live outside
+    the SoA store and are identical to the leader's by construction.
+    """
+    follower.now = leader.now
+    follower.stats.cycles = leader.stats.cycles
+    follower.stats.committed = leader.stats.committed
+    follower.fp_reg_accesses = leader.fp_reg_accesses
+    follower.fetch.fetched = leader.fetch.fetched
+    follower.memory.l1d.stats.accesses = leader.memory.l1d.stats.accesses
+    follower.memory.l2.stats.accesses = leader.memory.l2.stats.accesses
+
+
+def _adopt_leader_state(run: BatchRun, leader: "Processor",
+                        blob: bytes, store: "RunAxisStore") -> None:
+    """Give ``run`` the leader's full pipeline state, preserving the
+    run's own counters and DTM gating decisions.
+
+    The leader snapshot is post-DTM, but the DTM mutates only gating
+    state (plus counters on its own row), so restoring it and then
+    overlaying this run's own gating tuple reconstructs exactly the
+    state this run would have reached executing alone.  The run's
+    trace cursor is repositioned to the leader's; unpickling per run
+    keeps forked siblings from sharing mutable state.
+    """
+    proc = run.proc
+    own_row = store.row(run.index).copy()
+    gating = proc.capture_gating()
+    proc.restore_state(pickle.loads(blob))
+    # restore_state wrote the leader's counter values through this
+    # run's row views; put the run's own counters back.
+    store.data[run.index] = own_row
+    proc.apply_gating(gating)
+    proc.fetch.trace.seek(leader.fetch.trace.position)

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import (TYPE_CHECKING, Any, Dict, Iterator, List, Optional,
-                    Sequence, Set)
+                    Sequence, Set, Tuple)
 
 from ..core.mapping import PortMapping, priority_mapping
 from ..obs.events import CoreStall
@@ -39,6 +39,7 @@ from .select import SelectNetwork
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..obs.collector import TraceCollector
+    from .soa import RunAxisStore
 
 #: Rename-table row offset for FP architectural registers.
 FP_RENAME_OFFSET = NUM_INT_ARCH_REGS
@@ -494,6 +495,74 @@ class Processor:
         # ``set_busy``), so the shared tally is recomputed here.
         self._busy_count[0] = sum(
             1 for unit in self._all_units if unit.busy)
+
+    # ------------------------------------------------------------------
+    # batched-grid interface (repro.pipeline.kernel.run_batch)
+    # ------------------------------------------------------------------
+    def adopt_run_axis(self, store: "RunAxisStore", run: int) -> None:
+        """Rebind every SoA counter of this processor to row ``run``
+        of a shared :class:`~repro.pipeline.soa.RunAxisStore`.
+
+        Current counter values are carried into the store, and the
+        hot-path aliases (``FunctionalUnit._ops_arr``) are re-pointed,
+        so both the reference loop and the macro-step kernel keep
+        working unchanged — they just write through row views now.
+        """
+        self._int_bank.adopt_storage(
+            store.view(run, "int_ops"),
+            store.view(run, "int_busy_cycles"),
+            store.view(run, "int_turnoff_events"))
+        self._fp_add_bank.adopt_storage(
+            store.view(run, "fp_add_ops"),
+            store.view(run, "fp_add_busy_cycles"),
+            store.view(run, "fp_add_turnoff_events"))
+        self._fp_mul_bank.adopt_storage(
+            store.view(run, "fp_mul_ops"),
+            store.view(run, "fp_mul_busy_cycles"),
+            store.view(run, "fp_mul_turnoff_events"))
+        for unit in self._all_units:
+            unit._ops_arr = unit._bank.ops
+        self.int_iq.adopt_counter_storage(store.view(run, "int_iq"))
+        self.fp_iq.adopt_counter_storage(store.view(run, "fp_iq"))
+        self.regfile.adopt_counter_storage(
+            store.view(run, "rf_reads"), store.view(run, "rf_writes"))
+
+    def capture_gating(self) -> Tuple[Any, ...]:
+        """The DTM-controlled gating state, as a comparable tuple.
+
+        Two runs of one batch class whose gating tuples match after an
+        ``on_sample`` boundary keep executing identically (the
+        macro-step contract: DTM mutates only this state, and only at
+        boundaries); a mismatch is the moment of divergence.
+        """
+        return (self.stalled_until, self.throttled_until,
+                self.int_iq.mode, self.fp_iq.mode,
+                tuple(unit.busy for unit in self._all_units),
+                frozenset(self.regfile._off))
+
+    def apply_gating(self, gating: Tuple[Any, ...]) -> None:
+        """Overlay a :meth:`capture_gating` tuple onto this processor.
+
+        Used when a batched run forks off its class: the leader's
+        pipeline state is restored wholesale, then the run's own DTM
+        decisions — which are exactly the gating tuple — are re-applied
+        on top.  Busy flags are set directly (their ``turnoff_events``
+        bumps already happened on this run's own counter row), and the
+        shared busy tally and register-file block set are recomputed.
+        """
+        (self.stalled_until, self.throttled_until,
+         int_mode, fp_mode, busy_flags, off_copies) = gating
+        for queue, mode in ((self.int_iq, int_mode), (self.fp_iq, fp_mode)):
+            if queue.mode is not mode:
+                queue.mode = mode
+                queue._rebuild_order()
+        for unit, flag in zip(self._all_units, busy_flags):
+            unit.busy = flag
+        self._busy_count[0] = sum(
+            1 for unit in self._all_units if unit.busy)
+        regfile = self.regfile
+        regfile._off = set(off_copies)
+        regfile._recompute_blocked()
 
     # ------------------------------------------------------------------
     # power-model interface

@@ -166,6 +166,19 @@ class RegisterFileBank:
         #: maintained by turn_off/turn_on — issue reads it every cycle.
         self._blocked: Set[int] = set()
 
+    def adopt_counter_storage(self, reads: Any, writes: Any) -> None:
+        """Rebind the access counters to externally-owned per-copy
+        arrays (:class:`~repro.pipeline.soa.RunAxisStore` segments),
+        carrying the current values over."""
+        for new, old in ((reads, self._reads), (writes, self._writes)):
+            if new.shape != old.shape or new.dtype != old.dtype:
+                raise ValueError("counter storage shape/dtype mismatch")
+        reads[:] = self._reads
+        writes[:] = self._writes
+        self._reads = reads
+        self._writes = writes
+        self.counters = RegFileCounters(reads, writes)
+
     # ------------------------------------------------------------------
     # access accounting
     # ------------------------------------------------------------------

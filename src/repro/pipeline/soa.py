@@ -26,9 +26,19 @@ Layout
   adjacent slots (index 0 = lower physical half).
 * Register-file counters — one reads array and one writes array per
   bank, indexed by copy.
+* :class:`RunAxisStore` — the batched-grid extension: one
+  ``[n_runs, n_counters]`` matrix holding every counter of every run
+  in a batch, with named column segments.  A single run's banks,
+  queues, and register file adopt row views of the store, so the
+  whole single-run API (and the macro-step kernel) keeps working
+  unchanged while cross-run operations (broadcasting one run's
+  activity delta to runs that executed identically) become one
+  vectorized row operation.
 """
 
 from __future__ import annotations
+
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -73,3 +83,74 @@ class UnitBank:
         self.ops = np.zeros(n_units, dtype=np.int64)
         self.busy_cycles = np.zeros(n_units, dtype=np.int64)
         self.turnoff_events = np.zeros(n_units, dtype=np.int64)
+
+    def adopt_storage(self, ops: np.ndarray, busy_cycles: np.ndarray,
+                      turnoff_events: np.ndarray) -> None:
+        """Rebind the bank's arrays to externally-owned storage
+        (row segments of a :class:`RunAxisStore`), carrying the
+        current values over.  Callers that alias the old arrays
+        (``FunctionalUnit._ops_arr``) must re-alias afterwards."""
+        for new, old in ((ops, self.ops), (busy_cycles, self.busy_cycles),
+                         (turnoff_events, self.turnoff_events)):
+            if new.shape != old.shape or new.dtype != old.dtype:
+                raise ValueError("storage shape/dtype mismatch")
+        ops[:] = self.ops
+        busy_cycles[:] = self.busy_cycles
+        turnoff_events[:] = self.turnoff_events
+        self.ops = ops
+        self.busy_cycles = busy_cycles
+        self.turnoff_events = turnoff_events
+
+
+class RunAxisStore:
+    """One ``[n_runs, n_counters]`` int64 matrix backing every SoA
+    counter of a batched run group.
+
+    Column segments (in layout order): the three :class:`UnitBank`
+    triples (integer ALUs, FP adders, FP multiplier), the two 15-slot
+    issue-queue counter rows, and the register-file read/write arrays.
+    ``view(run, name)`` returns the writable row segment a component
+    adopts; ``row(run)`` returns the whole row, which is how the
+    batched kernel broadcasts one run's execution delta to every run
+    still sharing its execution (``data[follower] += data[leader] -
+    prev``) and how a forked run's own counters are preserved across
+    a state restore.
+    """
+
+    __slots__ = ("n_runs", "n_cols", "data", "_segments")
+
+    def __init__(self, n_runs: int, n_int_alus: int, n_fp_adders: int,
+                 n_rf_copies: int) -> None:
+        if n_runs < 1:
+            raise ValueError("a run-axis store needs at least one run")
+        segments: Dict[str, Tuple[int, int]] = {}
+        col = 0
+        for name, width in (
+                ("int_ops", n_int_alus),
+                ("int_busy_cycles", n_int_alus),
+                ("int_turnoff_events", n_int_alus),
+                ("fp_add_ops", n_fp_adders),
+                ("fp_add_busy_cycles", n_fp_adders),
+                ("fp_add_turnoff_events", n_fp_adders),
+                ("fp_mul_ops", 1),
+                ("fp_mul_busy_cycles", 1),
+                ("fp_mul_turnoff_events", 1),
+                ("int_iq", IQC_NFIELDS),
+                ("fp_iq", IQC_NFIELDS),
+                ("rf_reads", n_rf_copies),
+                ("rf_writes", n_rf_copies)):
+            segments[name] = (col, col + width)
+            col += width
+        self.n_runs = n_runs
+        self.n_cols = col
+        self.data = np.zeros((n_runs, col), dtype=np.int64)
+        self._segments = segments
+
+    def view(self, run: int, name: str) -> np.ndarray:
+        """Writable view of one named column segment of one run."""
+        lo, hi = self._segments[name]
+        return self.data[run, lo:hi]
+
+    def row(self, run: int) -> np.ndarray:
+        """Writable view of one run's whole counter row."""
+        return self.data[run]

@@ -51,6 +51,7 @@ from typing import (Callable, Dict, List, Optional, Sequence, Tuple, Union)
 
 from ..analysis.sanitize import sanitize_enabled
 from ..obs.metrics import MetricsRegistry
+from ..pipeline.kernel import batch_enabled
 from .checkpoint import (CacheInfo, CheckpointError, CheckpointStore,
                          _stable, checkpoint_key, checkpoints_enabled,
                          code_fingerprint)
@@ -268,6 +269,10 @@ class EngineStats:
     degraded: int = 0
     sanitized_runs: int = 0
     sanitizer_checks: int = 0
+    #: Batched-grid execution: runs absorbed into lock-stepped kernel
+    #: invocations, and how many invocations there were.
+    batched_runs: int = 0
+    batch_groups: int = 0
     #: Warm-checkpoint traffic: runs that restored an existing
     #: checkpoint vs. runs that captured a fresh one.
     checkpoint_restores: int = 0
@@ -343,6 +348,9 @@ class ExperimentEngine:
                 checkpoint_root=str(self.checkpoints.root))
         else:
             self.runner = _execute_config
+        #: Batched grid execution needs the default execution path (a
+        #: custom runner's behavior cannot be replicated in a batch).
+        self._default_runner = runner is None
         self.stats = EngineStats()
 
     # ------------------------------------------------------------------
@@ -367,14 +375,23 @@ class ExperimentEngine:
                     continue
             pending.append(i)
 
-        if self.jobs <= 1 or len(pending) <= 1:
+        # Batched grid execution: compatible groups (same warm state,
+        # cycle budget, and thermal configuration) collapse into one
+        # lock-stepped kernel invocation each, executed inline — the
+        # whole point is to amortize interpreter overhead in-process,
+        # so a grid fully covered by batches never pays for a pool.
+        todo = pending
+        if todo and self._default_runner and batch_enabled():
+            todo = self._run_batches(configs, todo, results)
+
+        if self.jobs <= 1 or len(todo) <= 1:
             # Inline runs execute in submission order, so a leader has
             # always captured its cell's checkpoint before a follower
             # asks the store for it — no wave split needed.
-            for i in pending:
+            for i in todo:
                 results[i] = self._run_inline(configs[i])
         else:
-            for wave in self._checkpoint_waves(configs, pending):
+            for wave in self._checkpoint_waves(configs, todo):
                 self._run_pool(configs, wave, results)
 
         if self.cache is not None:
@@ -390,6 +407,33 @@ class ExperimentEngine:
             self.stats.fleet_metrics.merge_dict(result.metrics)
             out.append(result)
         return out
+
+    # ------------------------------------------------------------------
+    def _run_batches(self, configs: Sequence[SimulationConfig],
+                     pending: List[int],
+                     results: List[Optional[SimulationResult]]
+                     ) -> List[int]:
+        """Execute batch-compatible groups of ``pending`` in-process.
+
+        Returns the indices still unexecuted (ineligible runs, groups
+        of one, and groups the batch path declined at runtime) for the
+        ordinary inline/pool machinery.
+        """
+        from .batch import BatchDeclined, plan_groups, run_group
+        checkpoint_root = (str(self.checkpoints.root)
+                           if self.checkpoints is not None else None)
+        for group in plan_groups(configs, pending):
+            try:
+                outcomes = run_group([configs[i] for i in group],
+                                     checkpoint_root)
+            except BatchDeclined:
+                continue
+            for i, outcome in zip(group, outcomes):
+                results[i] = outcome.result
+                self._note(outcome)
+            self.stats.batched_runs += len(group)
+            self.stats.batch_groups += 1
+        return [i for i in pending if results[i] is None]
 
     # ------------------------------------------------------------------
     def _checkpoint_waves(self, configs: Sequence[SimulationConfig],

@@ -139,6 +139,26 @@ class ThermalModel:
         p[-1] = self._g_ambient[-1] * self.ambient_k
         self.temps = ad @ self.temps + bd @ p
 
+    def step_vector_batch(self, others: Sequence["ThermalModel"],
+                          die_powers: np.ndarray, dt: float) -> None:
+        """Advance a batch of models by ``dt`` with row ``i`` of
+        ``die_powers`` (``[n_runs, n_die]``) driving run ``i``'s model
+        (row 0 drives this model).
+
+        Each run keeps its own ``ad @ temps + bd @ p`` matrix-vector
+        update: collapsing the batch into one matrix-matrix product
+        would route through a different BLAS kernel (dgemm vs dgemv)
+        whose reassociated accumulation differs in the last ulp —
+        and the house rule requires batched runs to stay bit-identical
+        to per-run execution.  The batch dimension amortizes the call
+        and validation overhead across the run axis.
+        """
+        models = [self, *others]
+        if die_powers.ndim != 2 or die_powers.shape[0] != len(models):
+            raise ValueError("one power row per model")
+        for model, row in zip(models, die_powers):
+            model.step_vector(row, dt)
+
     # ------------------------------------------------------------------
     # state access
     # ------------------------------------------------------------------

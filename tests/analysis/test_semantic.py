@@ -340,6 +340,60 @@ class TestREP104KernelParity:
         assert rule_ids(report) == []
         assert report.suppressed == 1
 
+    def test_batch_path_unlanded_fires(self, tmp_path):
+        """Counters landed by run_kernel but unreachable from run_batch
+        fire with the batched-path message."""
+        files = dict(REP104_FILES)
+        files["pipeline/kernel.py"] = (
+            "def run_kernel(proc, ops_acc, busy_acc, ticks):\n"
+            "    proc.bank.ops += ops_acc\n"
+            "    proc.bank.busy_cycles += busy_acc\n"
+            "    c = proc._c\n"
+            "    c[IQC_CYCLES] += ticks\n"
+            "def run_batch(runs, ops_acc):\n"
+            "    for run in runs:\n"
+            "        run.proc.bank.ops += ops_acc\n")
+        write_tree(tmp_path, files)
+        report = deep_findings(tmp_path, select=["REP104"])
+        assert rule_ids(report) == ["REP104", "REP104"]
+        messages = [f.message for f in report.findings]
+        assert all("batched kernel path" in m for m in messages)
+        assert any("busy_cycles" in m for m in messages)
+        assert any("IQC_CYCLES" in m for m in messages)
+
+    def test_batch_path_via_helper_clean(self, tmp_path):
+        """run_batch landing counters through a reachable helper is
+        clean — parity is judged on the call graph, not one function."""
+        files = dict(REP104_FILES)
+        files["pipeline/kernel.py"] = (
+            "def _land(proc, ops_acc, busy_acc, ticks):\n"
+            "    proc.bank.ops += ops_acc\n"
+            "    proc.bank.busy_cycles += busy_acc\n"
+            "    c = proc._c\n"
+            "    c[IQC_CYCLES] += ticks\n"
+            "def run_kernel(proc, ops_acc, busy_acc, ticks):\n"
+            "    _land(proc, ops_acc, busy_acc, ticks)\n"
+            "def run_batch(runs, ops_acc, busy_acc, ticks):\n"
+            "    for run in runs:\n"
+            "        _land(run.proc, ops_acc, busy_acc, ticks)\n")
+        write_tree(tmp_path, files)
+        report = deep_findings(tmp_path, select=["REP104"])
+        assert rule_ids(report) == []
+
+    def test_absent_run_batch_skips_batch_check(self, tmp_path):
+        """Trees without a batched entry point are only held to per-run
+        kernel parity (mirrors the missing-kernel-file behaviour)."""
+        files = dict(REP104_FILES)
+        files["pipeline/kernel.py"] = (
+            "def run_kernel(proc, ops_acc, busy_acc, ticks):\n"
+            "    proc.bank.ops += ops_acc\n"
+            "    proc.bank.busy_cycles += busy_acc\n"
+            "    c = proc._c\n"
+            "    c[IQC_CYCLES] += ticks\n")
+        write_tree(tmp_path, files)
+        report = deep_findings(tmp_path, select=["REP104"])
+        assert rule_ids(report) == []
+
 
 class TestBaseline:
     def test_baseline_accepts_finding(self, tmp_path):

@@ -1,0 +1,322 @@
+"""Batched grid execution: identity, grouping, decline, throughput.
+
+The batched kernel path (``repro.sim.batch`` + ``run_batch`` in
+``repro.pipeline.kernel``) locks a whole technique grid of one
+benchmark in step through one process.  It must be a perfect stand-in
+for per-run execution: every run's :class:`SimulationResult` —
+counters, metrics, timelines, energies — ``dataclasses.asdict``-equal
+to both the per-run kernel (``REPRO_BATCH=0``) and the reference
+per-cycle loop (``REPRO_KERNEL=0``), across the figure-6/7/8 grids,
+with sanitize/trace declines and checkpoint restores in the mix.
+"""
+
+import dataclasses
+import gc
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.mapping import MappingKind
+from repro.core.policies import (ALUPolicy, IssueQueuePolicy,
+                                 RegFilePolicy, TechniqueConfig)
+from repro.pipeline.kernel import batch_enabled
+from repro.pipeline.soa import RunAxisStore
+from repro.sim.batch import batch_key, plan_groups
+from repro.sim.parallel import ExperimentEngine, WorkerOutcome
+from repro.sim.runner import SimulationConfig, Simulator
+from repro.thermal.floorplan import FloorplanVariant
+
+
+def config(benchmark="gzip", variant=FloorplanVariant.ALU,
+           techniques=None, **overrides):
+    base = dict(benchmark=benchmark, variant=variant,
+                max_cycles=2_500, warmup_cycles=1_000)
+    if techniques is not None:
+        base["techniques"] = techniques
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+def fig6_grid(**overrides):
+    """Issue-queue study: toggling vs base, two benchmarks."""
+    return [config(bench, FloorplanVariant.ISSUE_QUEUE,
+                   TechniqueConfig(issue_queue=policy), **overrides)
+            for bench in ("gzip", "mesa")
+            for policy in (IssueQueuePolicy.ACTIVITY_TOGGLING,
+                           IssueQueuePolicy.BASE)]
+
+
+def fig7_grid(**overrides):
+    """ALU study: the hot constrained floorplan forks execution
+    classes mid-measurement (fine-grain and base diverge at the first
+    throttled boundary)."""
+    return [config(bench, FloorplanVariant.ALU,
+                   TechniqueConfig(alus=policy), **overrides)
+            for bench in ("perlbmk", "mesa")
+            for policy in (ALUPolicy.ROUND_ROBIN, ALUPolicy.FINE_GRAIN,
+                           ALUPolicy.BASE)]
+
+
+def fig8_grid(**overrides):
+    """Register-file study: the mapping kind is warm-relevant (it
+    shapes warm-up traffic), so the four policies batch as two groups
+    of two — fine-grain turnoff only matters during measurement."""
+    return [config("gzip", FloorplanVariant.REGFILE,
+                   TechniqueConfig(regfile=RegFilePolicy(kind, fine)),
+                   **overrides)
+            for kind in (MappingKind.BALANCED, MappingKind.PRIORITY)
+            for fine in (True, False)]
+
+
+GRIDS = {"fig6": fig6_grid, "fig7": fig7_grid, "fig8": fig8_grid}
+
+
+def run_grid(monkeypatch, configs, batch="1", kernel="1", jobs=1):
+    monkeypatch.setenv("REPRO_BATCH", batch)
+    monkeypatch.setenv("REPRO_KERNEL", kernel)
+    engine = ExperimentEngine(jobs=jobs, use_cache=False,
+                              use_checkpoints=False)
+    return engine.run_many(configs), engine.stats
+
+
+def assert_all_identical(results_a, results_b):
+    assert len(results_a) == len(results_b)
+    for a, b in zip(results_a, results_b):
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+
+class TestBatchEnabled:
+    def test_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH", raising=False)
+        assert batch_enabled() is True
+
+    def test_env_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "0")
+        assert batch_enabled() is False
+
+
+class TestPlanGroups:
+    def test_groups_by_warm_key(self):
+        configs = fig6_grid()
+        groups = plan_groups(configs, range(len(configs)))
+        # One group per benchmark; toggling joins its benchmark's
+        # group (it batches as a singleton *execution class*, which is
+        # an intra-batch concern, not a grouping one).
+        assert sorted(sorted(g) for g in groups) == [[0, 1], [2, 3]]
+
+    def test_round_robin_warm_key_differs(self):
+        configs = fig7_grid()
+        groups = plan_groups(configs, range(len(configs)))
+        # Round-robin rotation warms differently, so each benchmark's
+        # group holds only fine-grain + base.
+        assert sorted(sorted(g) for g in groups) == [[1, 2], [4, 5]]
+
+    def test_singletons_and_ineligible_stay_out(self):
+        configs = [config("gzip"), config("mesa"),
+                   config("gzip", sanitize=True),
+                   config("gzip", trace_events=True)]
+        assert plan_groups(configs, range(len(configs))) == []
+
+    def test_only_pending_indices_considered(self):
+        configs = fig8_grid()
+        groups = plan_groups(configs, [0, 1])
+        assert sorted(sorted(g) for g in groups) == [[0, 1]]
+        # The two mapping kinds warm differently and never group.
+        assert plan_groups(configs, [1, 3]) == []
+
+    def test_batch_key_separates_cycle_budgets(self):
+        a = config("gzip")
+        b = config("gzip", max_cycles=5_000)
+        assert batch_key(a) != batch_key(b)
+        assert batch_key(a) == batch_key(config("gzip"))
+
+
+class TestBatchIdentity:
+    """The three execution paths agree run for run, grid for grid."""
+
+    @pytest.mark.parametrize("name", sorted(GRIDS))
+    def test_grid_matches_per_run_kernel(self, monkeypatch, name):
+        configs = GRIDS[name]()
+        batched, stats = run_grid(monkeypatch, configs, batch="1")
+        per_run, off_stats = run_grid(monkeypatch, configs, batch="0")
+        assert_all_identical(batched, per_run)
+        assert stats.batched_runs > 0
+        assert off_stats.batched_runs == 0
+
+    @pytest.mark.parametrize("name", sorted(GRIDS))
+    def test_grid_matches_reference_loop(self, monkeypatch, name):
+        configs = GRIDS[name]()
+        batched, _ = run_grid(monkeypatch, configs, batch="1")
+        reference, _ = run_grid(monkeypatch, configs,
+                                batch="0", kernel="0")
+        assert_all_identical(batched, reference)
+
+    def test_expected_group_shapes(self, monkeypatch):
+        _, stats6 = run_grid(monkeypatch, fig6_grid())
+        assert (stats6.batch_groups, stats6.batched_runs) == (2, 4)
+        _, stats7 = run_grid(monkeypatch, fig7_grid())
+        assert (stats7.batch_groups, stats7.batched_runs) == (2, 4)
+        _, stats8 = run_grid(monkeypatch, fig8_grid())
+        assert (stats8.batch_groups, stats8.batched_runs) == (2, 4)
+
+    def test_mid_interval_warm_state(self, monkeypatch):
+        """A warm-up that is NOT a multiple of the sensing interval:
+        the shared warm restore must resume toward the next *absolute*
+        boundary in every run of the group."""
+        configs = fig8_grid(warmup_cycles=1_117)
+        batched, stats = run_grid(monkeypatch, configs, batch="1")
+        per_run, _ = run_grid(monkeypatch, configs, batch="0")
+        assert stats.batched_runs == len(configs)
+        assert_all_identical(batched, per_run)
+
+    def test_batch_from_disk_checkpoints(self, monkeypatch, tmp_path):
+        """The group leader restoring the cell's on-disk warm
+        checkpoint yields the same grid as warming from scratch."""
+        configs = fig8_grid()
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        monkeypatch.setenv("REPRO_KERNEL", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cold_engine = ExperimentEngine(jobs=1, use_cache=False,
+                                       use_checkpoints=True)
+        cold = cold_engine.run_many(configs)
+        warm_engine = ExperimentEngine(jobs=1, use_cache=False,
+                                       use_checkpoints=True)
+        warm = warm_engine.run_many(configs)
+        assert_all_identical(cold, warm)
+        assert warm_engine.stats.batched_runs == len(configs)
+
+
+class TestSeparability:
+    """Per-run observability survives batching: each run's metrics
+    payload and thermal timelines are exactly what a solo run of the
+    same config reports (regression for cross-run bleed through the
+    shared run-axis store or the broadcast deltas)."""
+
+    def test_per_run_metrics_and_timelines(self, monkeypatch):
+        configs = fig8_grid()
+        batched, stats = run_grid(monkeypatch, configs, batch="1")
+        assert stats.batched_runs == len(configs)
+        for cfg, result in zip(configs, batched):
+            solo = Simulator(cfg).run()
+            assert result.metrics == solo.metrics
+            assert result.timelines == solo.timelines
+            assert (result.timeline_interval_cycles
+                    == solo.timeline_interval_cycles)
+
+    def test_runs_differ_from_each_other(self, monkeypatch):
+        """Sanity: the four RF policies do produce distinct metrics —
+        identity above is not vacuous."""
+        batched, _ = run_grid(monkeypatch, fig8_grid(), batch="1")
+        payloads = [dataclasses.asdict(r) for r in batched]
+        assert any(p != payloads[0] for p in payloads[1:])
+
+
+class TestDecline:
+    """Ineligible work flows through the per-run path unchanged."""
+
+    @pytest.mark.parametrize("flag", ["sanitize", "trace_events"])
+    def test_flagged_configs_decline(self, monkeypatch, flag):
+        configs = fig8_grid(**{flag: True})
+        flagged, stats = run_grid(monkeypatch, configs, batch="1")
+        assert stats.batched_runs == 0
+        serial, _ = run_grid(monkeypatch, configs, batch="0")
+        assert_all_identical(flagged, serial)
+
+    @pytest.mark.parametrize("env, value", [
+        ("REPRO_SANITIZE", "1"), ("REPRO_TRACE", "1")])
+    def test_env_flags_decline(self, monkeypatch, env, value):
+        monkeypatch.setenv(env, value)
+        _, stats = run_grid(monkeypatch, fig8_grid(), batch="1")
+        assert stats.batched_runs == 0
+
+    def test_mixed_grid_splits(self, monkeypatch):
+        """A grid mixing eligible and sanitized runs batches the
+        former and falls back for the latter, with identical output."""
+        configs = fig8_grid() + [config("gzip", sanitize=True)]
+        mixed, stats = run_grid(monkeypatch, configs, batch="1")
+        assert stats.batched_runs == 4
+        serial, _ = run_grid(monkeypatch, configs, batch="0")
+        assert_all_identical(mixed, serial)
+
+
+class TestEngineBookkeeping:
+    def test_pool_skipped_when_batch_covers_grid(self, monkeypatch):
+        """With the whole grid in one batch group there is nothing
+        left for the worker pool even at jobs > 1."""
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        monkeypatch.setenv("REPRO_KERNEL", "1")
+        engine = ExperimentEngine(jobs=2, use_cache=False,
+                                  use_checkpoints=False)
+
+        def no_pool(*args, **kwargs):
+            raise AssertionError("worker pool must not start")
+
+        monkeypatch.setattr(engine, "_run_pool", no_pool)
+        results = engine.run_many(fig8_grid())
+        assert len(results) == 4
+        assert engine.stats.batched_runs == 4
+        assert engine.stats.parallel_runs == 0
+
+    def test_custom_runner_bypasses_batching(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        calls = []
+
+        def runner(cfg):
+            calls.append(cfg.benchmark)
+            return WorkerOutcome(Simulator(cfg).run(),
+                                 sanitized=False, sanitizer_checks=0)
+
+        engine = ExperimentEngine(jobs=1, use_cache=False,
+                                  use_checkpoints=False, runner=runner)
+        engine.run_many(fig8_grid())
+        assert len(calls) == 4
+        assert engine.stats.batched_runs == 0
+
+
+class TestRunAxisStore:
+    def test_views_alias_rows(self):
+        store = RunAxisStore(3, n_int_alus=4, n_fp_adders=2,
+                             n_rf_copies=2)
+        view = store.view(1, "int_ops")
+        view += np.arange(4)
+        assert store.row(1).sum() == 6
+        assert store.row(0).sum() == 0 and store.row(2).sum() == 0
+
+    def test_adopted_processor_writes_through(self):
+        sim = Simulator(config("gzip"))
+        sim.prepare()
+        proc = sim.processor
+        store = RunAxisStore(2, len(proc.int_alus),
+                             len(proc.fp_adders), proc.regfile.n_copies)
+        before = proc.activity_snapshot()
+        proc.adopt_run_axis(store, 1)
+        assert proc.activity_snapshot() == before
+        assert proc._int_bank.ops.base is store.data
+        assert store.row(0).sum() == 0  # other rows untouched
+
+
+class TestThroughput:
+    def test_grid_throughput_floor(self, monkeypatch):
+        """Acceptance: the batched fig-8 grid sustains >= 30k grid
+        cycles/s (sum of all runs' measured cycles over the wall
+        clock), matching the single-run floor while carrying four
+        runs."""
+        monkeypatch.setenv("REPRO_BATCH", "1")
+        monkeypatch.setenv("REPRO_KERNEL", "1")
+        configs = fig8_grid(max_cycles=20_000, warmup_cycles=2_000)
+        engine = ExperimentEngine(jobs=1, use_cache=False,
+                                  use_checkpoints=False)
+        engine.run_many(configs)  # warm interpreter/caches
+        walls = []
+        for _ in range(2):
+            gc.collect()
+            fresh = ExperimentEngine(jobs=1, use_cache=False,
+                                     use_checkpoints=False)
+            start = time.perf_counter()
+            results = fresh.run_many(configs)
+            walls.append(time.perf_counter() - start)
+        total_cycles = sum(r.cycles for r in results)
+        best = total_cycles / min(walls)
+        assert best >= 30_000, (
+            f"grid throughput regressed: {best:,.0f} grid cycles/s")

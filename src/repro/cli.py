@@ -14,17 +14,20 @@ import argparse
 import cProfile
 import gc
 import json
+import os
 import pstats
+import subprocess
 import sys
 import tempfile
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from .analysis import lint as analysis_lint
 from .core.mapping import MappingKind
 from .core.policies import (ALUPolicy, IssueQueuePolicy, RegFilePolicy,
                             TechniqueConfig)
 from .obs import report as obs_report
+from .pipeline.accel import accel_compile_s, active_backend
 from .sim.checkpoint import CheckpointStore
 from .sim.experiments import (alu_experiment, issue_queue_experiment,
                               regfile_experiment)
@@ -43,6 +46,55 @@ def _parse_benchmarks(text: str) -> List[str]:
     return names
 
 
+#: CLI spellings of the accelerator backend request (``--accel``),
+#: mirrored verbatim into ``REPRO_ACCEL`` — see
+#: :func:`repro.pipeline.accel.resolve_backend` for the semantics.
+ACCEL_CHOICES = ("auto", "numba", "numpy", "0")
+
+
+def _apply_accel(args: argparse.Namespace) -> None:
+    """Mirror ``--accel`` into ``REPRO_ACCEL`` for this process (worker
+    processes inherit the environment, so pool runs follow suit)."""
+    if getattr(args, "accel", None):
+        os.environ["REPRO_ACCEL"] = args.accel
+
+
+def _git_commit() -> str:
+    """Short commit hash for bench provenance, ``unknown`` outside a
+    checkout (installed package, tarball)."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)))
+    except OSError:
+        return "unknown"
+    return proc.stdout.strip() if proc.returncode == 0 else "unknown"
+
+
+def _timed_best_of(fn: Callable[[], Any], repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall-clock seconds for ``fn()``, preceded by
+    one untimed warmup call.
+
+    The warmup call eats every first-invocation effect — accelerator
+    JIT compilation, trace materialization, interpreter cache warming —
+    so the timed windows measure steady-state execution only (asserted
+    in ``tests/pipeline/test_accel.py``).  Compile time is reported
+    separately via :func:`repro.pipeline.accel.accel_compile_s`.
+    """
+    fn()
+    walls = []
+    for _ in range(repeats):
+        # Collect the previous run's garbage outside the timed window
+        # (the simulator pauses the GC while cycling); best-of-N
+        # rejects scheduler noise on shared machines.
+        gc.collect()
+        start = time.perf_counter()
+        fn()
+        walls.append(time.perf_counter() - start)
+    return min(walls)
+
+
 def _cmd_list(_: argparse.Namespace) -> int:
     print(f"{'benchmark':10s} {'type':5s} {'ILP':>5s} {'L1 miss':>8s} "
           f"{'mispredict':>11s}")
@@ -55,6 +107,7 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    _apply_accel(args)
     techniques = TechniqueConfig(
         issue_queue=IssueQueuePolicy(args.issue_queue),
         alus=ALUPolicy(args.alus),
@@ -72,6 +125,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     result = simulator.run()
     print(f"benchmark:      {result.benchmark}")
     print(f"techniques:     {config.label()}")
+    print(f"backend:        {active_backend()}")
     print(f"IPC:            {result.ipc:.3f}")
     print(f"committed:      {result.committed} in {result.cycles} cycles")
     print(f"cooling stalls: {result.global_stalls} "
@@ -211,7 +265,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     throughput is reported as ``grid_cycles_per_s`` alongside the
     per-run ``cycles_per_s`` metrics.  The measurements land in a
     JSON report (default ``BENCH_parallel.json``).
+
+    Each report is also appended as one JSON line to a history file
+    (default ``BENCH_history.jsonl``) with commit, accelerator-backend,
+    and config provenance, so the performance trajectory survives the
+    per-PR snapshot overwrite.  Accelerator compile time (numba's
+    one-time JIT cost) is absorbed by untimed warmup calls and broken
+    out as ``accel_compile_s`` rather than polluting any timed window.
     """
+    _apply_accel(args)
     benchmarks = (_parse_benchmarks(args.benchmarks)
                   if args.benchmarks else tuple(BENCHMARK_NAMES))
     jobs = args.jobs if args.jobs is not None else default_jobs()
@@ -227,6 +289,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "jobs": jobs,
         "cycles": args.cycles,
         "benchmarks": list(benchmarks),
+        "accel_backend": active_backend(),
         "grids": [],
     }
 
@@ -235,17 +298,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         benchmark=benchmarks[0], variant=FloorplanVariant.ALU,
         techniques=TechniqueConfig(alus=ALUPolicy.FINE_GRAIN),
         max_cycles=single_cycles)
-    run_simulation(config)  # warm interpreter/caches before timing
-    single_walls = []
-    for _ in range(3):
-        # Collect the previous run's garbage outside the timed window
-        # (the simulator pauses the GC while cycling); best-of-3
-        # rejects scheduler noise on shared machines.
-        gc.collect()
-        start = time.perf_counter()
-        run_simulation(config)
-        single_walls.append(time.perf_counter() - start)
-    single_wall = min(single_walls)
+    single_wall = _timed_best_of(lambda: run_simulation(config))
+    # The warmup inside _timed_best_of triggered (and timed) any JIT
+    # compilation; surface it next to — never inside — the timings.
+    report["accel_compile_s"] = accel_compile_s()
     report["single_run"] = {
         "benchmark": benchmarks[0],
         "cycles": single_cycles,
@@ -318,10 +374,37 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                      f"{grid['batch_groups']} batch(es))")
             print(line)
 
+    print(f"accel backend: {report['accel_backend']}"
+          + (f" (compile {report['accel_compile_s']:.2f}s, "
+             f"excluded from timed windows)"
+             if report["accel_compile_s"] else ""))
     with open(args.output, "w") as handle:
         json.dump(report, handle, indent=2)
         handle.write("\n")
     print(f"report written to {args.output}")
+    if args.history:
+        entry = {
+            "written_at": time.strftime("%Y-%m-%dT%H:%M:%S",
+                                        time.gmtime()) + "Z",
+            "commit": _git_commit(),
+            "accel_backend": report["accel_backend"],
+            "accel_compile_s": report["accel_compile_s"],
+            "config": {"figures": figures,
+                       "benchmarks": list(benchmarks),
+                       "cycles": args.cycles, "seed": args.seed,
+                       "jobs": jobs},
+            "single_run": report["single_run"],
+            "grids": [{key: grid[key] for key in
+                       ("figure", "runs", "wall_s", "cycles_per_s",
+                        "serial_wall_s", "grid_cycles_per_s",
+                        "parallel_speedup", "batched_runs",
+                        "batch_groups")}
+                      for grid in report["grids"]],
+        }
+        with open(args.history, "a") as handle:
+            json.dump(entry, handle, separators=(",", ":"))
+            handle.write("\n")
+        print(f"history appended to {args.history}")
     return 0
 
 
@@ -358,6 +441,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--trace-out", default="", metavar="PATH",
                        help="write collected events as JSON Lines to "
                             "PATH (implies --trace)")
+    run_p.add_argument("--accel", default=None, choices=ACCEL_CHOICES,
+                       help="accelerator backend (mirrors REPRO_ACCEL: "
+                            "auto = numba when installed else the "
+                            "Python kernel; numpy = the lowered "
+                            "interpreter without JIT; 0 = off)")
     run_p.set_defaults(func=_cmd_run)
 
     fig_p = sub.add_parser("figure",
@@ -392,6 +480,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--output", default="BENCH_parallel.json",
                          help="report path (default: "
                               "BENCH_parallel.json)")
+    bench_p.add_argument("--history", default="BENCH_history.jsonl",
+                         help="JSONL history file each report is "
+                              "appended to with commit/backend/config "
+                              "provenance; '' disables (default: "
+                              "BENCH_history.jsonl)")
+    bench_p.add_argument("--accel", default=None, choices=ACCEL_CHOICES,
+                         help="accelerator backend (mirrors "
+                              "REPRO_ACCEL; recorded in the report's "
+                              "accel_backend field)")
     bench_p.set_defaults(func=_cmd_bench)
 
     report_p = sub.add_parser(

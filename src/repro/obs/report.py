@@ -330,12 +330,15 @@ def generate(figures: Sequence[str] = ("6", "7", "8"),
         section(report, runner(**kwargs), ceiling_k)
     stats = engine.stats
     report.heading(2, "Run accounting")
+    compile_note = (f" after a one-time {stats.accel_compile_s:.2f}s "
+                    f"compile" if stats.accel_compile_s else "")
     report.paragraph(
         f"{stats.total} runs: {stats.cache_hits} answered from cache, "
         f"{stats.batched_runs} batched "
         f"(in {stats.batch_groups} lock-stepped group(s)), "
         f"{stats.parallel_runs} parallel, {stats.inline_runs} inline; "
-        f"{stats.checkpoint_restores} checkpoint restore(s). "
+        f"{stats.checkpoint_restores} checkpoint restore(s); "
+        f"execution backend: {stats.accel_backend}{compile_note}. "
         f"Regenerate with: repro report --figures "
         f"{','.join(figures)} --cycles {max_cycles} --seed {seed}.")
     fleet = stats.fleet_metrics

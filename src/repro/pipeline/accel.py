@@ -1,0 +1,2010 @@
+"""Lowered, compilable form of the macro-step inner loop.
+
+:mod:`repro.pipeline.kernel` fused the per-cycle pipeline into
+macro-steps, but each cycle still executes as interpreted Python over
+heap objects (``IQEntry``/``ROBEntry``/``_InFlight`` instances, deques,
+sets).  This module lowers that state **once per run** into a fixed set
+of ``int64`` ndarrays plus an opcode-like schedule array over the
+materialized trace, and re-expresses the whole chunk loop as a single
+straight-line array program — :func:`_chunk_interp` — that one
+``@njit`` compilation (or the same source, run as plain Python for the
+always-available ``numpy`` backend) executes without touching a Python
+object.
+
+The lowering contract
+---------------------
+
+* **Chunk-constant gating.**  The macro-step contract (DESIGN.md §10)
+  says the DTM mutates gating state — unit busy flags, regfile
+  turnoffs, queue mode, stall/throttle windows — only inside the
+  ``on_sample`` boundary hook.  The session therefore syncs scalars
+  *out* to the objects before each boundary (:meth:`AccelSession.
+  sync_out`) and gating state back *in* after it (:meth:`AccelSession.
+  sync_in`); between boundaries the arrays are the only truth.
+* **Sequence-indexed trace.**  The workload generator stamps
+  ``op.seq`` with the op's position in the materialized trace, so any
+  in-flight op — including checkpoint-restored clones — maps to a flat
+  schedule row by ``op.seq - base``; lowering validates the mapping
+  field-by-field and declines on any mismatch.
+* **Exact side-effect order.**  Every stage mirrors the reference loop
+  statement for statement (memory-hierarchy LRU touches, select
+  counter updates, wakeup broadcasts, compaction charges), which is
+  what keeps ``SimulationResult`` payloads ``dataclasses.asdict``-
+  identical across the reference loop, the Python kernel, and both
+  accelerator backends.
+
+Decline rules
+-------------
+
+:func:`maybe_session` returns ``None`` (→ Python kernel) whenever a
+run needs per-cycle Python visibility: an attached trace collector,
+the runtime sanitizer (it wraps ``unit.start`` and hooks boundary
+checks), a non-replayable trace, a stateful (GShare) predictor, an
+already-exhausted front end, or any in-flight state the lowering
+cannot prove it can represent.
+
+Backend selection is by ``REPRO_ACCEL``: ``auto`` (numba when
+importable, else the Python kernel), ``numba``, ``numpy`` (the same
+interpreter run as pure Python — always available, used by the
+identity-test matrix), or ``0`` to disable the accelerator entirely.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Tuple
+
+import numpy as np
+
+from .alu import _NEVER, _InFlight
+from .isa import DEFAULT_LATENCY, NUM_INT_ARCH_REGS, OpClass
+from .issue_queue import IQEntry, QueueMode
+from .rob import ROBEntry
+from .soa import (IQC_BROADCASTS, IQC_COMPACTION_MOVES_0,
+                  IQC_COUNTER_EVALS_0, IQC_COUNTER_EVALS_1, IQC_CYCLES,
+                  IQC_INSERTS, IQC_LONG_MOVES_0, IQC_MUX_SELECTS_0,
+                  IQC_OCCUPANCY_SUM, IQC_PAYLOAD_OPS, IQC_SELECT_GRANTS)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .processor import Processor
+
+_FP_OFFSET = NUM_INT_ARCH_REGS
+
+# ---------------------------------------------------------------------------
+# opcode-like encoding of the schedule array
+# ---------------------------------------------------------------------------
+
+OP_INT_ALU = 0
+OP_INT_MUL = 1
+OP_LOAD = 2
+OP_STORE = 3
+OP_BRANCH = 4
+OP_FP_ADD = 5
+OP_FP_MUL = 6
+OP_NOP = 7
+
+_OP_CODE = {
+    OpClass.INT_ALU: OP_INT_ALU,
+    OpClass.INT_MUL: OP_INT_MUL,
+    OpClass.LOAD: OP_LOAD,
+    OpClass.STORE: OP_STORE,
+    OpClass.BRANCH: OP_BRANCH,
+    OpClass.FP_ADD: OP_FP_ADD,
+    OpClass.FP_MUL: OP_FP_MUL,
+    OpClass.NOP: OP_NOP,
+}
+_OP_OF_CODE = {code: oc for oc, code in _OP_CODE.items()}
+
+#: Interpreter exit statuses.
+ST_OK = 0            # ran to the chunk end
+ST_FINISHED = 1      # pipeline drained (reference drain break)
+ST_NEED_TRACE = 2    # fetch is about to run past the lowered window
+ST_ERR_OFF_COPY = 3  # read from a turned-off regfile copy (model error)
+
+# ---------------------------------------------------------------------------
+# scalar-vector slots (sv) — every mutable scalar the chunk loop touches
+# ---------------------------------------------------------------------------
+
+S_NOW = 0
+S_CYCLES = 1
+S_COMMITTED = 2
+S_STALL = 3
+S_THROTTLED = 4
+S_ISSUED = 5
+S_STALLED_UNTIL = 6
+S_THROTTLED_UNTIL = 7
+S_ROB_HEAD = 8
+S_ROB_TAIL = 9
+S_ROB_COUNT = 10
+S_ROB_RETIRED = 11
+S_LSQ_COUNT = 12
+S_FETCHED = 13
+S_EXHAUSTED = 14
+S_BLOCKING = 15
+S_RESUME = 16
+S_FCOUNT = 17
+S_FB_HEAD = 18
+S_FB_N = 19
+S_FPOS = 20
+S_INOW = 21
+S_ITOP = 22
+S_IHOLES = 23
+S_INPEND = 24
+S_IMINIA = 25
+S_IMODE = 26
+S_FNOW = 27
+S_FTOP = 28
+S_FHOLES = 29
+S_FNPEND = 30
+S_FMINIA = 31
+S_FMODE = 32
+S_GCTR = 33
+S_FREE_TOP = 34
+S_IRR = 35
+S_FRR = 36
+S_ISC_CYC = 37
+S_ISC_REQ = 38
+S_FSC_CYC = 39
+S_FSC_REQ = 40
+S_MSC_CYC = 41
+S_MSC_REQ = 42
+S_FP_ACC = 43
+S_BUSY_N = 44
+S_PRED_BR = 45
+S_PRED_MIS = 46
+S_L1_ACC = 47
+S_L1_MIS = 48
+S_L2_ACC = 49
+S_L2_MIS = 50
+S_MEM_LD = 51
+S_MEM_ST = 52
+S_TLEN = 53
+S_ERR_COPY = 54
+S_ERR_ALU = 55
+S_TFINAL = 56
+N_S = 57
+
+# ---------------------------------------------------------------------------
+# constant-vector slots (C) — chunk-invariant machine geometry
+# ---------------------------------------------------------------------------
+
+C_COMMIT_W = 0
+C_ISSUE_W = 1
+C_N_INT = 2
+C_N_FP = 3
+C_N_UNITS = 4
+C_MUL_J = 5
+C_ICAP = 6
+C_IMID = 7
+C_FCAP = 8
+C_FMID = 9
+C_IWIN = 10
+C_FWIN = 11
+C_ICW = 12
+C_FCW = 13
+C_ROB_CAP = 14
+C_LSQ_CAP = 15
+C_PENALTY = 16
+C_FWIDTH = 17
+C_FB_CAP = 18
+C_INT_RR = 19
+C_FP_RR = 20
+C_L1_SETS = 21
+C_L1_ASSOC = 22
+C_L1_OFF = 23
+C_L1_LAT = 24
+C_L2_SETS = 25
+C_L2_ASSOC = 26
+C_L2_OFF = 27
+C_L2_LAT = 28
+C_MEM_LAT = 29
+C_N_COPIES = 30
+N_C = 31
+
+#: Trace window sizing: how far behind/ahead of the cursor the lowered
+#: schedule arrays reach, and the growth step when fetch outruns them.
+_BACK_WINDOW = 4096
+_AHEAD = 8192
+_GROW = 4096
+
+
+def _chunk_interp(n_cycles, sv, C, lat,                      # repro: hot-loop
+                  t_opc, t_dst, t_s1, t_s2, t_mem, t_mis, t_seq,
+                  fb,
+                  iq_op, iq_rob, iq_w1, iq_w2, iq_ia, iq_gs,
+                  fq_op, fq_rob, fq_w1, fq_w2, fq_ia, fq_gs,
+                  ic, fc,
+                  r_op, r_dst, r_freed, r_done, r_issued,
+                  amap, free_arr, ready,
+                  u_op, u_rob, u_fin, u_n, u_nf, u_blocked, u_busy, ibs,
+                  int_ops, fp_ops, mul_ops, int_bc, fp_bc, mul_bc,
+                  ports, off_mask, rf_rd, rf_wr,
+                  igpt, fgpt, mgpt,
+                  l1_tags, l1_cnt, l2_tags, l2_cnt,
+                  sc_op, sc_rob, sc_w1, sc_w2, sc_ia, sc_gs,
+                  ready_buf, pair_t, pair_p):
+    """Execute up to ``n_cycles`` cycles over the lowered arrays.
+
+    One function, no helpers, no allocations: the same source compiles
+    under ``numba.njit(cache=True)`` and runs unmodified as plain
+    Python for the ``numpy`` backend.  All scalars load into locals on
+    entry and store back through ``sv`` at the single exit; the return
+    value is one of the ``ST_*`` statuses (error operands travel in
+    ``sv[S_ERR_COPY]``/``sv[S_ERR_ALU]``).
+    """
+    # ---- geometry constants -----------------------------------------
+    commit_width = int(C[C_COMMIT_W])
+    issue_width = int(C[C_ISSUE_W])
+    n_int = int(C[C_N_INT])
+    n_fp = int(C[C_N_FP])
+    n_units = int(C[C_N_UNITS])
+    mul_j = int(C[C_MUL_J])
+    icap = int(C[C_ICAP])
+    imid = int(C[C_IMID])
+    fcap = int(C[C_FCAP])
+    fmid = int(C[C_FMID])
+    iwin = int(C[C_IWIN])
+    fwin = int(C[C_FWIN])
+    icw = int(C[C_ICW])
+    fcw = int(C[C_FCW])
+    rob_cap = int(C[C_ROB_CAP])
+    lsq_cap = int(C[C_LSQ_CAP])
+    penalty = int(C[C_PENALTY])
+    f_width = int(C[C_FWIDTH])
+    fb_cap = int(C[C_FB_CAP])
+    int_rr = int(C[C_INT_RR])
+    fp_rr = int(C[C_FP_RR])
+    l1_sets = int(C[C_L1_SETS])
+    l1_assoc = int(C[C_L1_ASSOC])
+    l1_off = int(C[C_L1_OFF])
+    l1_lat = int(C[C_L1_LAT])
+    l2_sets = int(C[C_L2_SETS])
+    l2_assoc = int(C[C_L2_ASSOC])
+    l2_off = int(C[C_L2_OFF])
+    l2_lat = int(C[C_L2_LAT])
+    mem_lat = int(C[C_MEM_LAT])
+    n_copies = int(C[C_N_COPIES])
+
+    # ---- mutable scalars --------------------------------------------
+    now = int(sv[S_NOW])
+    end = now + n_cycles
+    st_cycles = int(sv[S_CYCLES])
+    st_committed = int(sv[S_COMMITTED])
+    st_stall = int(sv[S_STALL])
+    st_throttled = int(sv[S_THROTTLED])
+    st_issued = int(sv[S_ISSUED])
+    stalled_until = int(sv[S_STALLED_UNTIL])
+    throttled_until = int(sv[S_THROTTLED_UNTIL])
+    rob_head = int(sv[S_ROB_HEAD])
+    rob_tail = int(sv[S_ROB_TAIL])
+    rob_count = int(sv[S_ROB_COUNT])
+    rob_retired = int(sv[S_ROB_RETIRED])
+    lsq_count = int(sv[S_LSQ_COUNT])
+    f_fetched = int(sv[S_FETCHED])
+    f_exhausted = int(sv[S_EXHAUSTED])
+    f_blocking = int(sv[S_BLOCKING])
+    f_resume = int(sv[S_RESUME])
+    f_count = int(sv[S_FCOUNT])
+    fb_head = int(sv[S_FB_HEAD])
+    fb_n = int(sv[S_FB_N])
+    fpos = int(sv[S_FPOS])
+    i_qnow = int(sv[S_INOW])
+    i_top = int(sv[S_ITOP])
+    i_holes = int(sv[S_IHOLES])
+    i_npend = int(sv[S_INPEND])
+    i_minia = int(sv[S_IMINIA])
+    i_mode = int(sv[S_IMODE])
+    f_qnow = int(sv[S_FNOW])
+    f_top = int(sv[S_FTOP])
+    f_holes = int(sv[S_FHOLES])
+    f_npend = int(sv[S_FNPEND])
+    f_minia = int(sv[S_FMINIA])
+    f_mode = int(sv[S_FMODE])
+    gctr = int(sv[S_GCTR])
+    free_top = int(sv[S_FREE_TOP])
+    int_rr_off = int(sv[S_IRR])
+    fp_rr_off = int(sv[S_FRR])
+    isc_cyc = int(sv[S_ISC_CYC])
+    isc_req = int(sv[S_ISC_REQ])
+    fsc_cyc = int(sv[S_FSC_CYC])
+    fsc_req = int(sv[S_FSC_REQ])
+    msc_cyc = int(sv[S_MSC_CYC])
+    msc_req = int(sv[S_MSC_REQ])
+    fp_racc = int(sv[S_FP_ACC])
+    busy_n = int(sv[S_BUSY_N])
+    pred_br = int(sv[S_PRED_BR])
+    pred_mis = int(sv[S_PRED_MIS])
+    l1_acc = int(sv[S_L1_ACC])
+    l1_mis = int(sv[S_L1_MIS])
+    l2_acc = int(sv[S_L2_ACC])
+    l2_mis = int(sv[S_L2_MIS])
+    mem_ld = int(sv[S_MEM_LD])
+    mem_st = int(sv[S_MEM_ST])
+    t_len = int(sv[S_TLEN])
+    t_final = int(sv[S_TFINAL])
+
+    # ---- per-call accumulators (flushed at the single exit) ---------
+    active_cycles = 0
+    ic_ticks = 0
+    ic_occ = 0
+    ic_bcasts = 0
+    ic_ins = 0
+    ic_grants = 0
+    fc_ticks = 0
+    fc_occ = 0
+    fc_bcasts = 0
+    fc_ins = 0
+    fc_grants = 0
+    i_ce0 = 0
+    i_ce1 = 0
+    i_cm0 = 0
+    i_cm1 = 0
+    i_mx0 = 0
+    i_mx1 = 0
+    i_lm0 = 0
+    i_lm1 = 0
+    f_ce0 = 0
+    f_ce1 = 0
+    f_cm0 = 0
+    f_cm1 = 0
+    f_mx0 = 0
+    f_mx1 = 0
+    f_lm0 = 0
+    f_lm1 = 0
+    wr_events = 0
+    status = ST_OK
+
+    while now < end:
+        nxt = now + 1
+        if nxt < stalled_until:
+            # Global stall: bulk-skip the stretch (reference semantics:
+            # only cycle/stall counters move, drain condition is
+            # re-checked once).
+            if f_exhausted == 1 and rob_count == 0 and fb_n == 0:
+                now = nxt
+                st_cycles += 1
+                st_stall += 1
+                status = ST_FINISHED
+                break
+            last = stalled_until - 1
+            if last > end:
+                last = end
+            n_stall = last - now
+            now = last
+            st_cycles += n_stall
+            st_stall += n_stall
+            continue
+        if t_final == 0 and fpos + f_width > t_len:
+            # Conservative: fetch consumes at most f_width rows this
+            # cycle; pause at the cycle boundary so the session can
+            # grow the lowered trace window.  No state has changed.
+            status = ST_NEED_TRACE
+            break
+        now = nxt
+        st_cycles += 1
+        active_cycles += 1
+
+        # ---- commit (fused ready_count + retire) --------------------
+        if rob_count > 0:
+            limit = rob_count if rob_count < commit_width else commit_width
+            n_commit = 0
+            pos = rob_head
+            while n_commit < limit:
+                if r_op[pos] < 0 or r_done[pos] == 0:
+                    break
+                opp = int(r_op[pos])
+                oc = int(t_opc[opp])
+                if oc == OP_STORE:
+                    addr = int(t_mem[opp])
+                    if addr >= 0:
+                        # memory.store: write-allocate L1, then L2 on
+                        # a miss (latency ignored for stores).
+                        mem_st += 1
+                        blk = addr >> l1_off
+                        si = blk % l1_sets
+                        tg = blk // l1_sets
+                        l1_acc += 1
+                        cnt = int(l1_cnt[si])
+                        hw = -1
+                        for w in range(cnt):
+                            if l1_tags[si, w] == tg:
+                                hw = w
+                                break
+                        if hw >= 0:
+                            for w in range(hw, cnt - 1):
+                                l1_tags[si, w] = l1_tags[si, w + 1]
+                            l1_tags[si, cnt - 1] = tg
+                        else:
+                            l1_mis += 1
+                            if cnt >= l1_assoc:
+                                for w in range(cnt - 1):
+                                    l1_tags[si, w] = l1_tags[si, w + 1]
+                                l1_tags[si, cnt - 1] = tg
+                            else:
+                                l1_tags[si, cnt] = tg
+                                l1_cnt[si] = cnt + 1
+                            blk = addr >> l2_off
+                            si = blk % l2_sets
+                            tg = blk // l2_sets
+                            l2_acc += 1
+                            cnt = int(l2_cnt[si])
+                            hw = -1
+                            for w in range(cnt):
+                                if l2_tags[si, w] == tg:
+                                    hw = w
+                                    break
+                            if hw >= 0:
+                                for w in range(hw, cnt - 1):
+                                    l2_tags[si, w] = l2_tags[si, w + 1]
+                                l2_tags[si, cnt - 1] = tg
+                            else:
+                                l2_mis += 1
+                                if cnt >= l2_assoc:
+                                    for w in range(cnt - 1):
+                                        l2_tags[si, w] = l2_tags[si, w + 1]
+                                    l2_tags[si, cnt - 1] = tg
+                                else:
+                                    l2_tags[si, cnt] = tg
+                                    l2_cnt[si] = cnt + 1
+                    lsq_count -= 1
+                elif oc == OP_LOAD:
+                    lsq_count -= 1
+                ftag = int(r_freed[pos])
+                if ftag >= 0:
+                    free_arr[free_top] = ftag
+                    free_top += 1
+                    ready[ftag] = 0
+                r_op[pos] = -1
+                pos += 1
+                if pos == rob_cap:
+                    pos = 0
+                n_commit += 1
+            if n_commit > 0:
+                rob_head = pos
+                rob_count -= n_commit
+                rob_retired += n_commit
+                st_committed += n_commit
+
+        # ---- writeback (in-place pipeline compaction + wakeup) ------
+        for j in range(n_units):
+            if now < int(u_nf[j]):
+                continue
+            nj = int(u_n[j])
+            k_out = 0
+            nfj = _NEVER
+            for k in range(nj):
+                fin = int(u_fin[j, k])
+                if fin > now:
+                    u_op[j, k_out] = u_op[j, k]
+                    u_rob[j, k_out] = u_rob[j, k]
+                    u_fin[j, k_out] = fin
+                    if fin < nfj:
+                        nfj = fin
+                    k_out += 1
+                    continue
+                opp = int(u_op[j, k])
+                ri = int(u_rob[j, k])
+                r_done[ri] = 1
+                oc = int(t_opc[opp])
+                if oc == OP_BRANCH and f_blocking == int(t_seq[opp]):
+                    f_blocking = -1
+                    f_resume = now + penalty
+                tag = int(r_dst[ri])
+                if tag >= 0:
+                    ready[tag] = 1
+                    # Broadcast: clear the tag from every waiting slot
+                    # (scan form of the reference's waiter buckets — a
+                    # slot waits on a tag iff it registered for it).
+                    ic_bcasts += 1
+                    for p in range(icap):
+                        if iq_op[p] >= 0:
+                            if iq_w1[p] == tag:
+                                iq_w1[p] = -1
+                            if iq_w2[p] == tag:
+                                iq_w2[p] = -1
+                    fc_bcasts += 1
+                    for p in range(fcap):
+                        if fq_op[p] >= 0:
+                            if fq_w1[p] == tag:
+                                fq_w1[p] = -1
+                            if fq_w2[p] == tag:
+                                fq_w2[p] = -1
+                    if oc == OP_FP_ADD or oc == OP_FP_MUL:
+                        fp_racc += 1
+                    else:
+                        wr_events += 1
+            u_n[j] = k_out
+            u_nf[j] = nfj
+
+        if throttled_until > now and (now & 1) == 1:
+            st_throttled += 1
+        else:
+            # ---- int issue (fused select + grant + unit start) ------
+            budget = issue_width
+            if i_top != i_holes:
+                n_ready = 0
+                for l in range(i_top):
+                    p = l if i_mode == 0 else (l + imid) % icap
+                    if (iq_op[p] >= 0 and iq_ia[p] < 0
+                            and iq_w1[p] < 0 and iq_w2[p] < 0):
+                        ready_buf[n_ready] = p
+                        n_ready += 1
+                isc_cyc += 1
+                isc_req += n_ready
+                cap = budget if budget < n_ready else n_ready
+                taken = 0
+                if cap > 0:
+                    for k in range(n_int):
+                        if taken >= cap:
+                            break
+                        t = (k + int_rr_off) % n_int if int_rr == 1 else k
+                        if ibs[t] == 1 or now < int(u_blocked[t]):
+                            continue
+                        pair_t[taken] = t
+                        pair_p[taken] = ready_buf[taken]
+                        igpt[t] += 1
+                        taken += 1
+                    if int_rr == 1 and taken > 1:
+                        # Rotation assigns grants; processing runs in
+                        # ascending ALU order (insertion sort).
+                        for a in range(1, taken):
+                            vt = int(pair_t[a])
+                            vp = int(pair_p[a])
+                            b = a - 1
+                            while b >= 0 and int(pair_t[b]) > vt:
+                                pair_t[b + 1] = pair_t[b]
+                                pair_p[b + 1] = pair_p[b]
+                                b -= 1
+                            pair_t[b + 1] = vt
+                            pair_p[b + 1] = vp
+                    for g in range(taken):
+                        t = int(pair_t[g])
+                        p = int(pair_p[g])
+                        iq_ia[p] = i_qnow
+                        iq_gs[p] = gctr
+                        gctr += 1
+                        if i_npend == 0:
+                            i_minia = i_qnow
+                        i_npend += 1
+                        ic_grants += 1
+                        opp = int(iq_op[p])
+                        oc = int(t_opc[opp])
+                        extra = 0
+                        if oc == OP_LOAD:
+                            addr = int(t_mem[opp])
+                            if addr >= 0:
+                                mem_ld += 1
+                                blk = addr >> l1_off
+                                si = blk % l1_sets
+                                tg = blk // l1_sets
+                                l1_acc += 1
+                                cnt = int(l1_cnt[si])
+                                hw = -1
+                                for w in range(cnt):
+                                    if l1_tags[si, w] == tg:
+                                        hw = w
+                                        break
+                                if hw >= 0:
+                                    for w in range(hw, cnt - 1):
+                                        l1_tags[si, w] = l1_tags[si, w + 1]
+                                    l1_tags[si, cnt - 1] = tg
+                                    extra = l1_lat
+                                else:
+                                    l1_mis += 1
+                                    if cnt >= l1_assoc:
+                                        for w in range(cnt - 1):
+                                            l1_tags[si, w] = \
+                                                l1_tags[si, w + 1]
+                                        l1_tags[si, cnt - 1] = tg
+                                    else:
+                                        l1_tags[si, cnt] = tg
+                                        l1_cnt[si] = cnt + 1
+                                    blk = addr >> l2_off
+                                    si = blk % l2_sets
+                                    tg = blk // l2_sets
+                                    l2_acc += 1
+                                    cnt = int(l2_cnt[si])
+                                    hw = -1
+                                    for w in range(cnt):
+                                        if l2_tags[si, w] == tg:
+                                            hw = w
+                                            break
+                                    if hw >= 0:
+                                        for w in range(hw, cnt - 1):
+                                            l2_tags[si, w] = \
+                                                l2_tags[si, w + 1]
+                                        l2_tags[si, cnt - 1] = tg
+                                        extra = l2_lat
+                                    else:
+                                        l2_mis += 1
+                                        if cnt >= l2_assoc:
+                                            for w in range(cnt - 1):
+                                                l2_tags[si, w] = \
+                                                    l2_tags[si, w + 1]
+                                            l2_tags[si, cnt - 1] = tg
+                                        else:
+                                            l2_tags[si, cnt] = tg
+                                            l2_cnt[si] = cnt + 1
+                                        extra = mem_lat
+                        n_operands = 0
+                        if t_s1[opp] >= 0:
+                            n_operands += 1
+                        if t_s2[opp] >= 0:
+                            n_operands += 1
+                        err = 0
+                        for port in range(n_operands):
+                            copy = int(ports[t, port])
+                            if off_mask[copy] == 1:
+                                sv[S_ERR_COPY] = copy
+                                sv[S_ERR_ALU] = t
+                                status = ST_ERR_OFF_COPY
+                                err = 1
+                                break
+                            rf_rd[copy] += 1
+                        if err == 1:
+                            break
+                        base = int(lat[oc])
+                        if oc == OP_INT_MUL:
+                            u_blocked[t] = now + base
+                        fin = now + base + extra
+                        nt = int(u_n[t])
+                        u_op[t, nt] = opp
+                        u_rob[t, nt] = iq_rob[p]
+                        u_fin[t, nt] = fin
+                        u_n[t] = nt + 1
+                        if fin < int(u_nf[t]):
+                            u_nf[t] = fin
+                        int_ops[t] += 1
+                        r_issued[int(iq_rob[p])] = 1
+                        st_issued += 1
+                    if status == ST_ERR_OFF_COPY:
+                        # Mirror the reference raise: budget, rotation
+                        # advance, and the rest of the cycle are
+                        # skipped; partial grant bookkeeping stands.
+                        break
+                    budget -= taken
+                if int_rr == 1:
+                    int_rr_off = (int_rr_off + 1) % n_int
+
+            # ---- fp issue (adders, then the single multiplier) ------
+            if budget > 0 and f_top != f_holes:
+                n_ready = 0
+                for l in range(f_top):
+                    p = l if f_mode == 0 else (l + fmid) % fcap
+                    if (fq_op[p] >= 0 and fq_ia[p] < 0
+                            and fq_w1[p] < 0 and fq_w2[p] < 0
+                            and t_opc[int(fq_op[p])] == OP_FP_ADD):
+                        ready_buf[n_ready] = p
+                        n_ready += 1
+                fsc_cyc += 1
+                fsc_req += n_ready
+                cap = budget if budget < n_ready else n_ready
+                taken = 0
+                if cap > 0:
+                    for k in range(n_fp):
+                        if taken >= cap:
+                            break
+                        t = (k + fp_rr_off) % n_fp if fp_rr == 1 else k
+                        if u_busy[n_int + t] == 1 \
+                                or now < int(u_blocked[n_int + t]):
+                            continue
+                        pair_t[taken] = t
+                        pair_p[taken] = ready_buf[taken]
+                        fgpt[t] += 1
+                        taken += 1
+                    if fp_rr == 1 and taken > 1:
+                        for a in range(1, taken):
+                            vt = int(pair_t[a])
+                            vp = int(pair_p[a])
+                            b = a - 1
+                            while b >= 0 and int(pair_t[b]) > vt:
+                                pair_t[b + 1] = pair_t[b]
+                                pair_p[b + 1] = pair_p[b]
+                                b -= 1
+                            pair_t[b + 1] = vt
+                            pair_p[b + 1] = vp
+                    for g in range(taken):
+                        t = int(pair_t[g])
+                        p = int(pair_p[g])
+                        fq_ia[p] = f_qnow
+                        fq_gs[p] = gctr
+                        gctr += 1
+                        if f_npend == 0:
+                            f_minia = f_qnow
+                        f_npend += 1
+                        fc_grants += 1
+                        opp = int(fq_op[p])
+                        n_operands = 0
+                        if t_s1[opp] >= 0:
+                            n_operands += 1
+                        if t_s2[opp] >= 0:
+                            n_operands += 1
+                        fp_racc += n_operands
+                        j = n_int + t
+                        fin = now + int(lat[OP_FP_ADD])
+                        nt = int(u_n[j])
+                        u_op[j, nt] = opp
+                        u_rob[j, nt] = fq_rob[p]
+                        u_fin[j, nt] = fin
+                        u_n[j] = nt + 1
+                        if fin < int(u_nf[j]):
+                            u_nf[j] = fin
+                        fp_ops[t] += 1
+                        r_issued[int(fq_rob[p])] = 1
+                        st_issued += 1
+                if fp_rr == 1:
+                    fp_rr_off = (fp_rr_off + 1) % n_fp
+                if taken < budget:
+                    # Multiplier pass re-scans: adds granted above are
+                    # no longer ready.
+                    n_ready = 0
+                    for l in range(f_top):
+                        p = l if f_mode == 0 else (l + fmid) % fcap
+                        if (fq_op[p] >= 0 and fq_ia[p] < 0
+                                and fq_w1[p] < 0 and fq_w2[p] < 0
+                                and t_opc[int(fq_op[p])] == OP_FP_MUL):
+                            ready_buf[n_ready] = p
+                            n_ready += 1
+                    msc_cyc += 1
+                    msc_req += n_ready
+                    if n_ready > 0 and not (
+                            u_busy[mul_j] == 1
+                            or now < int(u_blocked[mul_j])):
+                        p = int(ready_buf[0])
+                        mgpt[0] += 1
+                        fq_ia[p] = f_qnow
+                        fq_gs[p] = gctr
+                        gctr += 1
+                        if f_npend == 0:
+                            f_minia = f_qnow
+                        f_npend += 1
+                        fc_grants += 1
+                        opp = int(fq_op[p])
+                        n_operands = 0
+                        if t_s1[opp] >= 0:
+                            n_operands += 1
+                        if t_s2[opp] >= 0:
+                            n_operands += 1
+                        fp_racc += n_operands
+                        fin = now + int(lat[OP_FP_MUL])
+                        nt = int(u_n[mul_j])
+                        u_op[mul_j, nt] = opp
+                        u_rob[mul_j, nt] = fq_rob[p]
+                        u_fin[mul_j, nt] = fin
+                        u_n[mul_j] = nt + 1
+                        if fin < int(u_nf[mul_j]):
+                            u_nf[mul_j] = fin
+                        mul_ops[0] += 1
+                        r_issued[int(fq_rob[p])] = 1
+                        st_issued += 1
+
+            # ---- int queue tick (compaction) ------------------------
+            i_qnow += 1
+            ic_ticks += 1
+            ic_occ += i_top - i_holes
+            if i_holes > 0 or i_npend > 0:
+                if i_holes == 0 and i_npend > 0 \
+                        and i_qnow - i_minia < iwin:
+                    # Dense queue, nothing expires: gating charges only.
+                    marked = 0
+                    for l in range(i_top):
+                        p = l if i_mode == 0 else (l + imid) % icap
+                        if marked > 0:
+                            if p < imid:
+                                i_ce0 += 1
+                            else:
+                                i_ce1 += 1
+                        if iq_ia[p] >= 0:
+                            marked += 1
+                else:
+                    boundary = icap - imid
+                    for p in range(icap):
+                        sc_op[p] = -1
+                    reclaim = 0
+                    marked = 0
+                    newtop = 0
+                    occ = 0
+                    removed = 0
+                    for l in range(i_top):
+                        p = l if i_mode == 0 else (l + imid) % icap
+                        o = int(iq_op[p])
+                        if o < 0:
+                            reclaim += 1
+                            marked += 1
+                            continue
+                        ia = int(iq_ia[p])
+                        if ia >= 0 and i_qnow - ia >= iwin:
+                            reclaim += 1
+                            marked += 1
+                            removed = 1
+                            continue
+                        src_low = 1 if p < imid else 0
+                        if marked > 0:
+                            if src_low == 1:
+                                i_ce0 += 1
+                            else:
+                                i_ce1 += 1
+                        shift = reclaim
+                        if shift > icw:
+                            shift = icw
+                        dst_l = l - shift
+                        dst_p = dst_l if i_mode == 0 \
+                            else (dst_l + imid) % icap
+                        sc_op[dst_p] = o
+                        sc_rob[dst_p] = iq_rob[p]
+                        sc_w1[dst_p] = iq_w1[p]
+                        sc_w2[dst_p] = iq_w2[p]
+                        sc_ia[dst_p] = ia
+                        sc_gs[dst_p] = iq_gs[p]
+                        newtop = dst_l + 1
+                        occ += 1
+                        if ia >= 0:
+                            marked += 1
+                        if shift > 0:
+                            if src_low == 1:
+                                i_cm0 += 1
+                            else:
+                                i_cm1 += 1
+                            if dst_p < imid:
+                                i_mx0 += 1
+                            else:
+                                i_mx1 += 1
+                            if i_mode == 1 and l >= boundary \
+                                    and boundary > dst_l:
+                                if src_low == 1:
+                                    i_lm0 += 1
+                                else:
+                                    i_lm1 += 1
+                    for p in range(icap):
+                        iq_op[p] = sc_op[p]
+                        iq_rob[p] = sc_rob[p]
+                        iq_w1[p] = sc_w1[p]
+                        iq_w2[p] = sc_w2[p]
+                        iq_ia[p] = sc_ia[p]
+                        iq_gs[p] = sc_gs[p]
+                    i_top = newtop
+                    i_holes = newtop - occ
+                    if removed == 1:
+                        i_npend = 0
+                        i_minia = _NEVER
+                        for p in range(icap):
+                            if iq_op[p] >= 0 and iq_ia[p] >= 0:
+                                i_npend += 1
+                                if iq_ia[p] < i_minia:
+                                    i_minia = int(iq_ia[p])
+
+            # ---- fp queue tick (compaction) -------------------------
+            f_qnow += 1
+            fc_ticks += 1
+            fc_occ += f_top - f_holes
+            if f_holes > 0 or f_npend > 0:
+                if f_holes == 0 and f_npend > 0 \
+                        and f_qnow - f_minia < fwin:
+                    marked = 0
+                    for l in range(f_top):
+                        p = l if f_mode == 0 else (l + fmid) % fcap
+                        if marked > 0:
+                            if p < fmid:
+                                f_ce0 += 1
+                            else:
+                                f_ce1 += 1
+                        if fq_ia[p] >= 0:
+                            marked += 1
+                else:
+                    boundary = fcap - fmid
+                    for p in range(fcap):
+                        sc_op[p] = -1
+                    reclaim = 0
+                    marked = 0
+                    newtop = 0
+                    occ = 0
+                    removed = 0
+                    for l in range(f_top):
+                        p = l if f_mode == 0 else (l + fmid) % fcap
+                        o = int(fq_op[p])
+                        if o < 0:
+                            reclaim += 1
+                            marked += 1
+                            continue
+                        ia = int(fq_ia[p])
+                        if ia >= 0 and f_qnow - ia >= fwin:
+                            reclaim += 1
+                            marked += 1
+                            removed = 1
+                            continue
+                        src_low = 1 if p < fmid else 0
+                        if marked > 0:
+                            if src_low == 1:
+                                f_ce0 += 1
+                            else:
+                                f_ce1 += 1
+                        shift = reclaim
+                        if shift > fcw:
+                            shift = fcw
+                        dst_l = l - shift
+                        dst_p = dst_l if f_mode == 0 \
+                            else (dst_l + fmid) % fcap
+                        sc_op[dst_p] = o
+                        sc_rob[dst_p] = fq_rob[p]
+                        sc_w1[dst_p] = fq_w1[p]
+                        sc_w2[dst_p] = fq_w2[p]
+                        sc_ia[dst_p] = ia
+                        sc_gs[dst_p] = fq_gs[p]
+                        newtop = dst_l + 1
+                        occ += 1
+                        if ia >= 0:
+                            marked += 1
+                        if shift > 0:
+                            if src_low == 1:
+                                f_cm0 += 1
+                            else:
+                                f_cm1 += 1
+                            if dst_p < fmid:
+                                f_mx0 += 1
+                            else:
+                                f_mx1 += 1
+                            if f_mode == 1 and l >= boundary \
+                                    and boundary > dst_l:
+                                if src_low == 1:
+                                    f_lm0 += 1
+                                else:
+                                    f_lm1 += 1
+                    for p in range(fcap):
+                        fq_op[p] = sc_op[p]
+                        fq_rob[p] = sc_rob[p]
+                        fq_w1[p] = sc_w1[p]
+                        fq_w2[p] = sc_w2[p]
+                        fq_ia[p] = sc_ia[p]
+                        fq_gs[p] = sc_gs[p]
+                    f_top = newtop
+                    f_holes = newtop - occ
+                    if removed == 1:
+                        f_npend = 0
+                        f_minia = _NEVER
+                        for p in range(fcap):
+                            if fq_op[p] >= 0 and fq_ia[p] >= 0:
+                                f_npend += 1
+                                if fq_ia[p] < f_minia:
+                                    f_minia = int(fq_ia[p])
+
+            # ---- dispatch (peek-based rename + insert) --------------
+            if fb_n > 0:
+                n_disp = fb_n if fb_n < issue_width else issue_width
+                for _ in range(n_disp):
+                    opp = int(fb[fb_head])
+                    oc = int(t_opc[opp])
+                    is_fp = 1 if (oc == OP_FP_ADD or oc == OP_FP_MUL) \
+                        else 0
+                    needs_lsq = 1 if (oc == OP_LOAD or oc == OP_STORE) \
+                        else 0
+                    dst = int(t_dst[opp])
+                    if is_fp == 1:
+                        q_top_cur = f_top
+                        q_cap_cur = fcap
+                    else:
+                        q_top_cur = i_top
+                        q_cap_cur = icap
+                    if (rob_count == rob_cap or q_top_cur >= q_cap_cur
+                            or (needs_lsq == 1 and lsq_count == lsq_cap)
+                            or (dst >= 0 and free_top == 0)):
+                        break  # structural stall: op stays buffered
+                    fb_head += 1
+                    if fb_head == fb_cap:
+                        fb_head = 0
+                    fb_n -= 1
+                    offset = _FP_OFFSET if is_fp == 1 else 0
+                    s1 = int(t_s1[opp])
+                    s2 = int(t_s2[opp])
+                    w1 = -1
+                    if s1 >= 0:
+                        tg = int(amap[offset + s1])
+                        if ready[tg] == 0:
+                            w1 = tg
+                    w2 = -1
+                    if s2 >= 0:
+                        tg = int(amap[offset + s2])
+                        if ready[tg] == 0 and tg != w1:
+                            w2 = tg
+                    if dst >= 0:
+                        free_top -= 1
+                        dst_tag = int(free_arr[free_top])
+                        freed = int(amap[offset + dst])
+                        amap[offset + dst] = dst_tag
+                        ready[dst_tag] = 0
+                    else:
+                        dst_tag = -1
+                        freed = -1
+                    r_op[rob_tail] = opp
+                    r_dst[rob_tail] = dst_tag
+                    r_freed[rob_tail] = freed
+                    r_done[rob_tail] = 0
+                    r_issued[rob_tail] = 0
+                    ri = rob_tail
+                    rob_tail += 1
+                    if rob_tail == rob_cap:
+                        rob_tail = 0
+                    rob_count += 1
+                    if needs_lsq == 1:
+                        lsq_count += 1
+                    if is_fp == 1:
+                        p = f_top if f_mode == 0 \
+                            else (f_top + fmid) % fcap
+                        fq_op[p] = opp
+                        fq_rob[p] = ri
+                        fq_w1[p] = w1
+                        fq_w2[p] = w2
+                        fq_ia[p] = -1
+                        fq_gs[p] = -1
+                        f_top += 1
+                        fc_ins += 1
+                    else:
+                        p = i_top if i_mode == 0 \
+                            else (i_top + imid) % icap
+                        iq_op[p] = opp
+                        iq_rob[p] = ri
+                        iq_w1[p] = w1
+                        iq_w2[p] = w2
+                        iq_ia[p] = -1
+                        iq_gs[p] = -1
+                        i_top += 1
+                        ic_ins += 1
+
+            # ---- fetch ----------------------------------------------
+            f_count = 0
+            if f_resume >= 0 and now >= f_resume:
+                f_resume = -1
+            if f_resume < 0 and f_blocking < 0:
+                while fb_n < fb_cap and f_count < f_width:
+                    if fpos >= t_len:
+                        # Only reachable on a final window: the trace
+                        # source is exhausted (reference StopIteration).
+                        f_exhausted = 1
+                        break
+                    opp = fpos
+                    fpos += 1
+                    tail = fb_head + fb_n
+                    if tail >= fb_cap:
+                        tail -= fb_cap
+                    fb[tail] = opp
+                    fb_n += 1
+                    f_fetched += 1
+                    f_count += 1
+                    if t_opc[opp] == OP_BRANCH:
+                        pred_br += 1
+                        mis = int(t_mis[opp])
+                        pred_mis += mis
+                        if mis == 1:
+                            f_blocking = int(t_seq[opp])
+                            break
+
+        if f_exhausted == 1 and rob_count == 0 and fb_n == 0:
+            status = ST_FINISHED
+            break
+
+    # ---- single exit: store scalars, flush accumulators -------------
+    sv[S_NOW] = now
+    sv[S_CYCLES] = st_cycles
+    sv[S_COMMITTED] = st_committed
+    sv[S_STALL] = st_stall
+    sv[S_THROTTLED] = st_throttled
+    sv[S_ISSUED] = st_issued
+    sv[S_ROB_HEAD] = rob_head
+    sv[S_ROB_TAIL] = rob_tail
+    sv[S_ROB_COUNT] = rob_count
+    sv[S_ROB_RETIRED] = rob_retired
+    sv[S_LSQ_COUNT] = lsq_count
+    sv[S_FETCHED] = f_fetched
+    sv[S_EXHAUSTED] = f_exhausted
+    sv[S_BLOCKING] = f_blocking
+    sv[S_RESUME] = f_resume
+    sv[S_FCOUNT] = f_count
+    sv[S_FB_HEAD] = fb_head
+    sv[S_FB_N] = fb_n
+    sv[S_FPOS] = fpos
+    sv[S_INOW] = i_qnow
+    sv[S_ITOP] = i_top
+    sv[S_IHOLES] = i_holes
+    sv[S_INPEND] = i_npend
+    sv[S_IMINIA] = i_minia
+    sv[S_FNOW] = f_qnow
+    sv[S_FTOP] = f_top
+    sv[S_FHOLES] = f_holes
+    sv[S_FNPEND] = f_npend
+    sv[S_FMINIA] = f_minia
+    sv[S_GCTR] = gctr
+    sv[S_FREE_TOP] = free_top
+    sv[S_IRR] = int_rr_off
+    sv[S_FRR] = fp_rr_off
+    sv[S_ISC_CYC] = isc_cyc
+    sv[S_ISC_REQ] = isc_req
+    sv[S_FSC_CYC] = fsc_cyc
+    sv[S_FSC_REQ] = fsc_req
+    sv[S_MSC_CYC] = msc_cyc
+    sv[S_MSC_REQ] = msc_req
+    sv[S_FP_ACC] = fp_racc
+    sv[S_PRED_BR] = pred_br
+    sv[S_PRED_MIS] = pred_mis
+    sv[S_L1_ACC] = l1_acc
+    sv[S_L1_MIS] = l1_mis
+    sv[S_L2_ACC] = l2_acc
+    sv[S_L2_MIS] = l2_mis
+    sv[S_MEM_LD] = mem_ld
+    sv[S_MEM_ST] = mem_st
+    ic[IQC_CYCLES] += ic_ticks
+    ic[IQC_OCCUPANCY_SUM] += ic_occ
+    ic[IQC_BROADCASTS] += ic_bcasts
+    ic[IQC_INSERTS] += ic_ins
+    ic[IQC_SELECT_GRANTS] += ic_grants
+    ic[IQC_PAYLOAD_OPS] += ic_grants
+    ic[IQC_COUNTER_EVALS_0] += i_ce0
+    ic[IQC_COUNTER_EVALS_1] += i_ce1
+    ic[IQC_COMPACTION_MOVES_0] += i_cm0
+    ic[IQC_COMPACTION_MOVES_0 + 1] += i_cm1
+    ic[IQC_MUX_SELECTS_0] += i_mx0
+    ic[IQC_MUX_SELECTS_0 + 1] += i_mx1
+    ic[IQC_LONG_MOVES_0] += i_lm0
+    ic[IQC_LONG_MOVES_0 + 1] += i_lm1
+    fc[IQC_CYCLES] += fc_ticks
+    fc[IQC_OCCUPANCY_SUM] += fc_occ
+    fc[IQC_BROADCASTS] += fc_bcasts
+    fc[IQC_INSERTS] += fc_ins
+    fc[IQC_SELECT_GRANTS] += fc_grants
+    fc[IQC_PAYLOAD_OPS] += fc_grants
+    fc[IQC_COUNTER_EVALS_0] += f_ce0
+    fc[IQC_COUNTER_EVALS_1] += f_ce1
+    fc[IQC_COMPACTION_MOVES_0] += f_cm0
+    fc[IQC_COMPACTION_MOVES_0 + 1] += f_cm1
+    fc[IQC_MUX_SELECTS_0] += f_mx0
+    fc[IQC_MUX_SELECTS_0 + 1] += f_mx1
+    fc[IQC_LONG_MOVES_0] += f_lm0
+    fc[IQC_LONG_MOVES_0 + 1] += f_lm1
+    if wr_events > 0:
+        for cpy in range(n_copies):
+            rf_wr[cpy] += wr_events
+    if busy_n > 0 and active_cycles > 0:
+        for j in range(n_units):
+            if u_busy[j] == 1:
+                if j < n_int:
+                    int_bc[j] += active_cycles
+                elif j < n_int + n_fp:
+                    fp_bc[j - n_int] += active_cycles
+                else:
+                    mul_bc[0] += active_cycles
+    return status
+
+
+# ---------------------------------------------------------------------------
+# lowering: objects -> arrays, and back
+# ---------------------------------------------------------------------------
+
+
+class _Declined(Exception):
+    """The run cannot be lowered; fall back to the Python kernel."""
+
+
+class AccelSession:
+    """One lowered run: arrays are the truth between sample boundaries.
+
+    Created by :func:`maybe_session` at run (or batch-leader) start.
+    :meth:`run_chunk` executes boundary-aligned chunks through the
+    backend; :meth:`sync_out`/:meth:`sync_in` bracket each ``on_sample``
+    boundary; :meth:`materialize` rebuilds the full object state (ROB
+    entries, queue slots, in-flight lists, fetch buffer, cache sets,
+    rename table) and is idempotent — it is called before any snapshot
+    pickle and once at run end.
+    """
+
+    def __init__(self, proc: "Processor", fn: Callable[..., int],
+                 backend: str) -> None:
+        self.proc = proc
+        self._fn = fn
+        self.backend = backend
+        self._lower()
+        global _COMPILE_S
+        if backend == "numba" and _COMPILE_S is None:
+            # First njit call compiles (or loads the on-disk cache).
+            # A zero-cycle call is a proven no-op: the cycle loop never
+            # runs and the exit flush adds zeros.  Timed here so bench
+            # can report compile time separately from cycles_per_s.
+            t0 = perf_counter()
+            self._fn(0, *self._args)
+            _COMPILE_S = perf_counter() - t0
+
+    @property
+    def now(self) -> int:
+        return int(self.sv[S_NOW])
+
+    # -- lowering -----------------------------------------------------
+
+    def _op_row(self, op: Any) -> int:
+        """Flat schedule row for an in-flight op, validated field by
+        field (checkpoint restores hold value-identical clones, so the
+        mapping is by ``seq``, never by object identity)."""
+        rel = op.seq - self._b0
+        if rel < 0 or rel >= self._tlen:
+            raise _Declined("in-flight op outside the lowered window")
+        ref = self._ops[rel]
+        if (op.opclass is not ref.opclass or op.dst != ref.dst
+                or op.src1 != ref.src1 or op.src2 != ref.src2
+                or op.mem_addr != ref.mem_addr or op.taken != ref.taken
+                or op.mispredicted != ref.mispredicted):
+            raise _Declined("in-flight op does not match its trace row")
+        return rel
+
+    def _load_trace(self, hi: int) -> None:
+        """(Re)build the flat schedule arrays for rows ``[b0, hi)``."""
+        buf = self._trace.buffer
+        ops = buf.ops[self._b0:hi]
+        n = len(ops)
+        t_opc = np.empty(n, np.int64)
+        t_dst = np.empty(n, np.int64)
+        t_s1 = np.empty(n, np.int64)
+        t_s2 = np.empty(n, np.int64)
+        t_mem = np.empty(n, np.int64)
+        t_mis = np.empty(n, np.int64)
+        t_seq = np.empty(n, np.int64)
+        code_of = _OP_CODE
+        b0 = self._b0
+        # Validation doubles as a bounds proof for the compiled body:
+        # every register/memory index the interpreter will read is
+        # checked here, because out-of-bounds indexing under njit is
+        # undefined behaviour rather than an IndexError.
+        for i, op in enumerate(ops):            # repro: noqa[REP007] one-time lowering staging, not per-cycle work
+            if op.seq != b0 + i:
+                raise _Declined("trace row sequence mismatch")
+            t_opc[i] = code_of[op.opclass]
+            for val, arr in ((op.dst, t_dst), (op.src1, t_s1),
+                             (op.src2, t_s2)):
+                if val is None:
+                    arr[i] = -1
+                elif 0 <= val < NUM_INT_ARCH_REGS:
+                    arr[i] = val
+                else:
+                    raise _Declined("register index out of range")
+            m = op.mem_addr
+            if m is None:
+                t_mem[i] = -1
+            elif m >= 0:
+                t_mem[i] = m
+            else:
+                raise _Declined("negative memory address")
+            t_mis[i] = 1 if op.mispredicted else 0
+            t_seq[i] = op.seq
+        self._ops = ops
+        self._tlen = n
+        self._t = (t_opc, t_dst, t_s1, t_s2, t_mem, t_mis, t_seq)
+
+    def _lower_queue(self, q: Any, gs_base: int) -> List[np.ndarray]:
+        cap = q.n_entries
+        arrs = [np.full(cap, -1, dtype=np.int64) for _ in range(6)]
+        q_op, q_rob, q_w1, q_w2, q_ia, q_gs = arrs
+        pending = q._pending_removal
+        pend_rank = {id(e): rank for rank, e in enumerate(pending)}
+        seen_pending = 0
+        for p, entry in enumerate(q.slots):
+            if entry is None:
+                continue
+            q_op[p] = self._op_row(entry.op)
+            q_rob[p] = entry.rob_index
+            tags = sorted(entry.waiting_tags)
+            if len(tags) > 2:
+                raise _Declined("queue entry waits on more than 2 tags")
+            if len(tags) >= 1:
+                q_w1[p] = tags[0]
+            if len(tags) == 2:
+                q_w2[p] = tags[1]
+            if entry.issued_at is not None:
+                rank = pend_rank.get(id(entry))
+                if rank is None:
+                    raise _Declined("issued entry not in pending list")
+                q_ia[p] = entry.issued_at
+                q_gs[p] = gs_base + rank
+                seen_pending += 1
+        if seen_pending != len(pending):
+            raise _Declined("pending list inconsistent with slots")
+        return arrs
+
+    @staticmethod
+    def _lower_cache(cache: Any) -> Tuple[np.ndarray, np.ndarray]:
+        n_sets = cache._n_sets
+        assoc = cache._assoc
+        tags = np.full((n_sets, assoc), -1, dtype=np.int64)
+        cnt = np.zeros(n_sets, dtype=np.int64)
+        for s, ways in enumerate(cache._sets):
+            k = len(ways)
+            if k > assoc:
+                raise _Declined("cache set overflows associativity")
+            cnt[s] = k
+            for w in range(k):
+                tags[s, w] = ways[w]
+        return tags, cnt
+
+    def _lower(self) -> None:
+        from ..analysis.sanitize import sanitize_enabled
+        from ..workloads.trace import ReplayTrace
+        from .branch import TracePredictor
+
+        proc = self.proc
+        if proc.collector is not None:
+            raise _Declined("trace collector attached")
+        if sanitize_enabled():
+            raise _Declined("runtime sanitizer enabled")
+        units = proc._all_units
+        for u in units:
+            if "start" in u.__dict__:
+                raise _Declined("unit.start is hooked")
+        fetch = proc.fetch
+        if type(fetch.predictor) is not TracePredictor:
+            raise _Declined("stateful branch predictor")
+        trace = fetch.trace
+        if not isinstance(trace, ReplayTrace):
+            raise _Declined("trace is not replayable")
+        if fetch.exhausted:
+            raise _Declined("front end already exhausted")
+        int_alus = proc.int_alus
+        fp_adders = proc.fp_adders
+        n_int = len(int_alus)
+        n_fp = len(fp_adders)
+        n_units = len(units)
+        if n_int == 0 or n_fp == 0 or n_units != n_int + n_fp + 1:
+            raise _Declined("degenerate unit configuration")
+        mapping = proc.mapping
+        ports = np.zeros((n_int, 2), dtype=np.int64)
+        for i in range(n_int):
+            copies = tuple(mapping.copies_for(i))
+            if len(copies) != 2:
+                raise _Declined("non-dual-ported ALU mapping")
+            ports[i, 0] = copies[0]
+            ports[i, 1] = copies[1]
+
+        # -- trace window ---------------------------------------------
+        self._trace = trace
+        pos = trace.position
+        b0 = pos - _BACK_WINDOW
+        if b0 < 0:
+            b0 = 0
+        self._b0 = b0
+        self._ops: List[Any] = []
+        self._tlen = 0
+        want = pos + _AHEAD
+        buf = trace.buffer
+        final = 0
+        try:
+            buf.get(want - 1)
+        except (StopIteration, IndexError):
+            pass
+        n_avail = len(buf.ops)
+        if n_avail < want:
+            final = 1
+        if n_avail <= pos:
+            raise _Declined("trace window is empty")
+        self._load_trace(n_avail if n_avail < want else want)
+
+        sv = np.zeros(N_S, dtype=np.int64)
+        C = np.zeros(N_C, dtype=np.int64)
+        self.sv = sv
+        self.C = C
+
+        # -- fetch ----------------------------------------------------
+        fb_cap = fetch.buffer_capacity
+        fb = np.zeros(fb_cap, dtype=np.int64)
+        if len(fetch.buffer) > fb_cap:
+            raise _Declined("fetch buffer over capacity")
+        for k, op in enumerate(fetch.buffer):
+            fb[k] = self._op_row(op)
+        self._fb = fb
+        sv[S_FB_HEAD] = 0
+        sv[S_FB_N] = len(fetch.buffer)
+        sv[S_FPOS] = pos - b0
+        sv[S_TLEN] = self._tlen
+        sv[S_TFINAL] = final
+        sv[S_FETCHED] = fetch.fetched
+        sv[S_EXHAUSTED] = 0
+        blocking = fetch._blocking_branch
+        sv[S_BLOCKING] = -1 if blocking is None else blocking
+        resume = fetch._resume_at
+        sv[S_RESUME] = -1 if resume is None else resume
+        sv[S_FCOUNT] = fetch._count_this_cycle
+        ps = fetch.predictor._stats
+        sv[S_PRED_BR] = ps.branches
+        sv[S_PRED_MIS] = ps.mispredicts
+
+        # -- rob / lsq ------------------------------------------------
+        rob = proc.rob
+        rob_cap = rob.capacity
+        r_op = np.full(rob_cap, -1, dtype=np.int64)
+        r_dst = np.full(rob_cap, -1, dtype=np.int64)
+        r_freed = np.full(rob_cap, -1, dtype=np.int64)
+        r_done = np.zeros(rob_cap, dtype=np.int64)
+        r_issued = np.zeros(rob_cap, dtype=np.int64)
+        for p, entry in enumerate(rob._entries):
+            if entry is None:
+                continue
+            r_op[p] = self._op_row(entry.op)
+            if entry.dst_tag is not None:
+                r_dst[p] = entry.dst_tag
+            if entry.freed_tag is not None:
+                r_freed[p] = entry.freed_tag
+            r_done[p] = 1 if entry.done else 0
+            r_issued[p] = 1 if entry.issued else 0
+        self._r_op = r_op
+        self._r_dst = r_dst
+        self._r_freed = r_freed
+        self._r_done = r_done
+        self._r_issued = r_issued
+        sv[S_ROB_HEAD] = rob._head
+        sv[S_ROB_TAIL] = rob._tail
+        sv[S_ROB_COUNT] = rob._count
+        sv[S_ROB_RETIRED] = rob.retired
+        sv[S_LSQ_COUNT] = proc.lsq._count
+
+        # -- rename table ---------------------------------------------
+        rename = proc.rename
+        amap_l = [int(x) for x in rename._map]
+        free_l = [int(x) for x in rename._free]
+        freed_l = [int(r_freed[p]) for p in range(rob_cap)
+                   if r_op[p] >= 0 and r_freed[p] >= 0]
+        all_tags = set(amap_l) | set(free_l) | set(freed_l)
+        n_phys = (max(all_tags) + 1) if all_tags else 0
+        if (len(all_tags) != len(amap_l) + len(free_l) + len(freed_l)
+                or n_phys != len(all_tags)):
+            raise _Declined("rename tag population is not dense")
+        ready = np.zeros(n_phys, dtype=np.int64)
+        for t in rename._ready:
+            if not 0 <= t < n_phys:
+                raise _Declined("ready tag out of range")
+            ready[t] = 1
+        free_arr = np.zeros(n_phys, dtype=np.int64)
+        free_arr[:len(free_l)] = free_l
+        self._amap = np.array(amap_l, dtype=np.int64)
+        self._free_arr = free_arr
+        self._ready = ready
+        sv[S_FREE_TOP] = len(free_l)
+
+        # -- issue queues ---------------------------------------------
+        int_iq = proc.int_iq
+        fp_iq = proc.fp_iq
+        ni = len(int_iq._pending_removal)
+        nf = len(fp_iq._pending_removal)
+        self._iq = self._lower_queue(int_iq, 0)
+        self._fq = self._lower_queue(fp_iq, ni)
+        for arr in (self._iq[2], self._iq[3], self._fq[2], self._fq[3]):
+            if arr.size and int(arr.max()) >= n_phys:
+                raise _Declined("waiting tag out of range")
+        sv[S_GCTR] = ni + nf
+        sv[S_INOW] = int_iq._now
+        sv[S_ITOP] = int_iq._top
+        sv[S_IHOLES] = int_iq._holes
+        sv[S_INPEND] = ni
+        sv[S_IMINIA] = (int_iq._pending_removal[0].issued_at
+                       if ni else _NEVER)
+        sv[S_IMODE] = 0 if int_iq.mode is QueueMode.NORMAL else 1
+        sv[S_FNOW] = fp_iq._now
+        sv[S_FTOP] = fp_iq._top
+        sv[S_FHOLES] = fp_iq._holes
+        sv[S_FNPEND] = nf
+        sv[S_FMINIA] = (fp_iq._pending_removal[0].issued_at
+                       if nf else _NEVER)
+        sv[S_FMODE] = 0 if fp_iq.mode is QueueMode.NORMAL else 1
+        self._ic = int_iq._c
+        self._fc = fp_iq._c
+
+        # -- select networks ------------------------------------------
+        int_sel = proc.int_select
+        fp_sel = proc.fp_add_select
+        mul_sel = proc.fp_mul_select
+        igpt = np.array(int_sel.counters.grants_per_tree, dtype=np.int64)
+        fgpt = np.array(fp_sel.counters.grants_per_tree, dtype=np.int64)
+        mgpt = np.array(mul_sel.counters.grants_per_tree, dtype=np.int64)
+        if igpt.shape[0] != n_int or fgpt.shape[0] != n_fp \
+                or mgpt.shape[0] != 1:
+            raise _Declined("select tree count mismatch")
+        self._igpt = igpt
+        self._fgpt = fgpt
+        self._mgpt = mgpt
+        sv[S_IRR] = int_sel._rr_offset
+        sv[S_FRR] = fp_sel._rr_offset
+        sv[S_ISC_CYC] = int_sel.counters.cycles
+        sv[S_ISC_REQ] = int_sel.counters.requests_seen
+        sv[S_FSC_CYC] = fp_sel.counters.cycles
+        sv[S_FSC_REQ] = fp_sel.counters.requests_seen
+        sv[S_MSC_CYC] = mul_sel.counters.cycles
+        sv[S_MSC_REQ] = mul_sel.counters.requests_seen
+
+        # -- functional units -----------------------------------------
+        mem = proc.memory
+        pipe_cap = mem._mem_lat + 32
+        u_op = np.full((n_units, pipe_cap), -1, dtype=np.int64)
+        u_rob = np.zeros((n_units, pipe_cap), dtype=np.int64)
+        u_fin = np.zeros((n_units, pipe_cap), dtype=np.int64)
+        u_n = np.zeros(n_units, dtype=np.int64)
+        u_nf = np.full(n_units, _NEVER, dtype=np.int64)
+        u_blocked = np.zeros(n_units, dtype=np.int64)
+        u_busy = np.zeros(n_units, dtype=np.int64)
+        for j, u in enumerate(units):
+            pl = u._pipeline
+            if len(pl) > pipe_cap:
+                raise _Declined("unit pipeline deeper than lowered cap")
+            for k, inf in enumerate(pl):
+                u_op[j, k] = self._op_row(inf.op)
+                u_rob[j, k] = inf.rob_index
+                u_fin[j, k] = inf.finish_cycle
+            u_n[j] = len(pl)
+            u_nf[j] = u._next_finish
+            u_blocked[j] = u._blocked_until
+            u_busy[j] = 1 if u.busy else 0
+        self._u_op = u_op
+        self._u_rob = u_rob
+        self._u_fin = u_fin
+        self._u_n = u_n
+        self._u_nf = u_nf
+        self._u_blocked = u_blocked
+        self._u_busy = u_busy
+        self._int_ops = proc._int_bank.ops
+        self._int_bc = proc._int_bank.busy_cycles
+        self._fp_ops = proc._fp_add_bank.ops
+        self._fp_bc = proc._fp_add_bank.busy_cycles
+        self._mul_ops = proc._fp_mul_bank.ops
+        self._mul_bc = proc._fp_mul_bank.busy_cycles
+        sv[S_BUSY_N] = proc._busy_count[0]
+
+        # -- register file --------------------------------------------
+        regfile = proc.regfile
+        n_copies = regfile.n_copies
+        off_mask = np.zeros(n_copies, dtype=np.int64)
+        for c in regfile._off:
+            if not 0 <= c < n_copies:
+                raise _Declined("turned-off copy out of range")
+            off_mask[c] = 1
+        blocked = regfile.blocked_alus()
+        ibs = np.zeros(n_int, dtype=np.int64)
+        for t in range(n_int):
+            if int_alus[t].busy or t in blocked:
+                ibs[t] = 1
+        self._ports = ports
+        self._off_mask = off_mask
+        self._ibs = ibs
+        self._rf_rd = regfile._reads
+        self._rf_wr = regfile._writes
+
+        # -- memory hierarchy -----------------------------------------
+        self._l1_tags, self._l1_cnt = self._lower_cache(mem.l1d)
+        self._l2_tags, self._l2_cnt = self._lower_cache(mem.l2)
+        sv[S_L1_ACC] = mem.l1d.stats.accesses
+        sv[S_L1_MIS] = mem.l1d.stats.misses
+        sv[S_L2_ACC] = mem.l2.stats.accesses
+        sv[S_L2_MIS] = mem.l2.stats.misses
+        sv[S_MEM_LD] = mem.loads
+        sv[S_MEM_ST] = mem.stores
+
+        # -- core scalars ---------------------------------------------
+        st = proc.stats
+        sv[S_NOW] = proc.now
+        sv[S_CYCLES] = st.cycles
+        sv[S_COMMITTED] = st.committed
+        sv[S_STALL] = st.stall_cycles
+        sv[S_THROTTLED] = st.throttled_cycles
+        sv[S_ISSUED] = st.issued
+        sv[S_STALLED_UNTIL] = proc.stalled_until
+        sv[S_THROTTLED_UNTIL] = proc.throttled_until
+        sv[S_FP_ACC] = proc.fp_reg_accesses
+
+        # -- geometry constants ---------------------------------------
+        C[C_COMMIT_W] = proc._commit_width
+        C[C_ISSUE_W] = proc._issue_width
+        C[C_N_INT] = n_int
+        C[C_N_FP] = n_fp
+        C[C_N_UNITS] = n_units
+        C[C_MUL_J] = n_units - 1
+        C[C_ICAP] = int_iq.n_entries
+        C[C_IMID] = int_iq.mid
+        C[C_FCAP] = fp_iq.n_entries
+        C[C_FMID] = fp_iq.mid
+        C[C_IWIN] = int_iq.replay_window
+        C[C_FWIN] = fp_iq.replay_window
+        C[C_ICW] = int_iq.compact_width
+        C[C_FCW] = fp_iq.compact_width
+        C[C_ROB_CAP] = rob_cap
+        C[C_LSQ_CAP] = proc.lsq.capacity
+        C[C_PENALTY] = fetch.mispredict_penalty
+        C[C_FWIDTH] = fetch.fetch_width
+        C[C_FB_CAP] = fb_cap
+        C[C_INT_RR] = 1 if int_sel.round_robin else 0
+        C[C_FP_RR] = 1 if fp_sel.round_robin else 0
+        C[C_L1_SETS] = mem.l1d._n_sets
+        C[C_L1_ASSOC] = mem.l1d._assoc
+        C[C_L1_OFF] = mem.l1d._offset_bits
+        C[C_L1_LAT] = mem._l1_lat
+        C[C_L2_SETS] = mem.l2._n_sets
+        C[C_L2_ASSOC] = mem.l2._assoc
+        C[C_L2_OFF] = mem.l2._offset_bits
+        C[C_L2_LAT] = mem._l2_lat
+        C[C_MEM_LAT] = mem._mem_lat
+        C[C_N_COPIES] = n_copies
+
+        lat = np.zeros(8, dtype=np.int64)
+        for oc, code in _OP_CODE.items():
+            lat[code] = DEFAULT_LATENCY[oc]
+        self._lat = lat
+
+        qmax = int_iq.n_entries
+        if fp_iq.n_entries > qmax:
+            qmax = fp_iq.n_entries
+        self._sc = [np.full(qmax, -1, dtype=np.int64) for _ in range(6)]
+        self._ready_buf = np.zeros(qmax, dtype=np.int64)
+        self._pair_t = np.zeros(n_units, dtype=np.int64)
+        self._pair_p = np.zeros(n_units, dtype=np.int64)
+        self._rebuild_args()
+
+    def _rebuild_args(self) -> None:
+        t_opc, t_dst, t_s1, t_s2, t_mem, t_mis, t_seq = self._t
+        self._args = (
+            self.sv, self.C, self._lat,
+            t_opc, t_dst, t_s1, t_s2, t_mem, t_mis, t_seq,
+            self._fb,
+            *self._iq, *self._fq,
+            self._ic, self._fc,
+            self._r_op, self._r_dst, self._r_freed, self._r_done,
+            self._r_issued,
+            self._amap, self._free_arr, self._ready,
+            self._u_op, self._u_rob, self._u_fin, self._u_n, self._u_nf,
+            self._u_blocked, self._u_busy, self._ibs,
+            self._int_ops, self._fp_ops, self._mul_ops,
+            self._int_bc, self._fp_bc, self._mul_bc,
+            self._ports, self._off_mask, self._rf_rd, self._rf_wr,
+            self._igpt, self._fgpt, self._mgpt,
+            self._l1_tags, self._l1_cnt, self._l2_tags, self._l2_cnt,
+            *self._sc, self._ready_buf, self._pair_t, self._pair_p,
+        )
+
+
+    # -- execution ----------------------------------------------------
+
+    def _extend_trace(self) -> None:
+        """Grow the lowered trace window (geometric growth, fixed
+        ``b0``) after the interpreter paused at ``ST_NEED_TRACE``."""
+        grow = self._tlen if self._tlen > _GROW else _GROW
+        want = self._b0 + self._tlen + grow
+        buf = self._trace.buffer
+        try:
+            buf.get(want - 1)
+        except (StopIteration, IndexError):
+            pass
+        n_avail = len(buf.ops)
+        if n_avail < want:
+            self.sv[S_TFINAL] = 1
+        hi = n_avail if n_avail < want else want
+        if hi > self._b0 + self._tlen:
+            try:
+                self._load_trace(hi)
+            except _Declined as exc:  # pragma: no cover - model corruption
+                raise RuntimeError(
+                    f"accel trace extension failed: {exc}") from exc
+            self.sv[S_TLEN] = self._tlen
+            self._rebuild_args()
+
+    def run_chunk(self, n_cycles: int) -> Tuple[int, bool]:
+        """Execute up to ``n_cycles`` cycles; returns ``(ran, finished)``
+        exactly like the kernel's ``_run_chunk``."""
+        sv = self.sv
+        start = int(sv[S_NOW])
+        target = start + n_cycles
+        finished = False
+        while True:
+            status = self._fn(target - int(sv[S_NOW]), *self._args)
+            if status == ST_NEED_TRACE:
+                self._extend_trace()
+                continue
+            if status == ST_ERR_OFF_COPY:
+                copy = int(sv[S_ERR_COPY])
+                alu = int(sv[S_ERR_ALU])
+                raise RuntimeError(
+                    f"read from turned-off register-file copy {copy}; "
+                    f"ALU {alu} should have been marked busy")
+            finished = status == ST_FINISHED
+            break
+        return int(sv[S_NOW]) - start, finished
+
+    # -- boundary sync ------------------------------------------------
+
+    def sync_out(self) -> None:
+        """Arrays -> objects: every scalar a boundary consumer (DTM,
+        activity toggler, power accountant) can read."""
+        proc = self.proc
+        sv = self.sv
+        proc.now = int(sv[S_NOW])
+        st = proc.stats
+        st.cycles = int(sv[S_CYCLES])
+        st.committed = int(sv[S_COMMITTED])
+        st.stall_cycles = int(sv[S_STALL])
+        st.throttled_cycles = int(sv[S_THROTTLED])
+        st.issued = int(sv[S_ISSUED])
+        fetch = proc.fetch
+        fetch.fetched = int(sv[S_FETCHED])
+        fetch.exhausted = bool(int(sv[S_EXHAUSTED]))
+        blocking = int(sv[S_BLOCKING])
+        fetch._blocking_branch = None if blocking < 0 else blocking
+        resume = int(sv[S_RESUME])
+        fetch._resume_at = None if resume < 0 else resume
+        fetch._count_this_cycle = int(sv[S_FCOUNT])
+        ps = fetch.predictor._stats
+        ps.branches = int(sv[S_PRED_BR])
+        ps.mispredicts = int(sv[S_PRED_MIS])
+        proc.fp_reg_accesses = int(sv[S_FP_ACC])
+        # The activity toggler reads len(queue) = _top - _holes before
+        # deciding to toggle, so queue geometry must be object-visible
+        # at every boundary (sync_in repairs it again after a toggle).
+        int_iq = proc.int_iq
+        int_iq._now = int(sv[S_INOW])
+        int_iq._top = int(sv[S_ITOP])
+        int_iq._holes = int(sv[S_IHOLES])
+        fp_iq = proc.fp_iq
+        fp_iq._now = int(sv[S_FNOW])
+        fp_iq._top = int(sv[S_FTOP])
+        fp_iq._holes = int(sv[S_FHOLES])
+        for sel, gpt in ((proc.int_select, self._igpt),
+                         (proc.fp_add_select, self._fgpt),
+                         (proc.fp_mul_select, self._mgpt)):
+            grants = sel.counters.grants_per_tree
+            for t in range(len(grants)):
+                grants[t] = int(gpt[t])
+        int_sel = proc.int_select
+        int_sel.counters.cycles = int(sv[S_ISC_CYC])
+        int_sel.counters.requests_seen = int(sv[S_ISC_REQ])
+        int_sel._rr_offset = int(sv[S_IRR])
+        fp_sel = proc.fp_add_select
+        fp_sel.counters.cycles = int(sv[S_FSC_CYC])
+        fp_sel.counters.requests_seen = int(sv[S_FSC_REQ])
+        fp_sel._rr_offset = int(sv[S_FRR])
+        mul_sel = proc.fp_mul_select
+        mul_sel.counters.cycles = int(sv[S_MSC_CYC])
+        mul_sel.counters.requests_seen = int(sv[S_MSC_REQ])
+        mem = proc.memory
+        mem.loads = int(sv[S_MEM_LD])
+        mem.stores = int(sv[S_MEM_ST])
+        mem.l1d.stats.accesses = int(sv[S_L1_ACC])
+        mem.l1d.stats.misses = int(sv[S_L1_MIS])
+        mem.l2.stats.accesses = int(sv[S_L2_ACC])
+        mem.l2.stats.misses = int(sv[S_L2_MIS])
+        self._trace.seek(self._b0 + int(sv[S_FPOS]))
+
+    def _repair_queue_mode(self, q: Any, s_mode: int, s_top: int,
+                           s_holes: int, q_op: np.ndarray) -> None:
+        mode_now = 0 if q.mode is QueueMode.NORMAL else 1
+        if mode_now == int(self.sv[s_mode]):
+            return
+        # The boundary toggled the queue: physical slot contents are
+        # unchanged but the logical mapping flipped, so top/holes must
+        # be recomputed under the new mapping (the object's own
+        # _rebuild_order ran over stale slots).
+        cap = q.n_entries
+        mid = q.mid
+        top = 0
+        occ = 0
+        for logical in range(cap):
+            p = logical if mode_now == 0 else (logical + mid) % cap
+            if q_op[p] >= 0:
+                top = logical + 1
+                occ += 1
+        self.sv[s_mode] = mode_now
+        self.sv[s_top] = top
+        self.sv[s_holes] = top - occ
+        q._top = top
+        q._holes = top - occ
+
+    def sync_in(self) -> None:
+        """Objects -> arrays: re-read everything the DTM may have
+        mutated at the boundary (the gating state of the macro-step
+        contract)."""
+        proc = self.proc
+        sv = self.sv
+        sv[S_STALLED_UNTIL] = proc.stalled_until
+        sv[S_THROTTLED_UNTIL] = proc.throttled_until
+        u_busy = self._u_busy
+        for j, u in enumerate(proc._all_units):
+            u_busy[j] = 1 if u.busy else 0
+        sv[S_BUSY_N] = proc._busy_count[0]
+        regfile = proc.regfile
+        off = regfile._off
+        off_mask = self._off_mask
+        for c in range(off_mask.shape[0]):
+            off_mask[c] = 1 if c in off else 0
+        blocked = regfile.blocked_alus()
+        ibs = self._ibs
+        int_alus = proc.int_alus
+        for t in range(ibs.shape[0]):
+            ibs[t] = 1 if (int_alus[t].busy or t in blocked) else 0
+        self._repair_queue_mode(proc.int_iq, S_IMODE, S_ITOP, S_IHOLES,
+                                self._iq[0])
+        self._repair_queue_mode(proc.fp_iq, S_FMODE, S_FTOP, S_FHOLES,
+                                self._fq[0])
+
+    # -- materialization ----------------------------------------------
+
+    def _materialize_queue(self, q: Any,
+                           arrs: List[np.ndarray]) -> None:
+        q_op, q_rob, q_w1, q_w2, q_ia, q_gs = arrs
+        slots = q.slots
+        ops = self._ops
+        pend: List[Tuple[int, IQEntry]] = []
+        waiters: dict = {}
+        for p in range(q.n_entries):
+            o = int(q_op[p])
+            if o < 0:
+                slots[p] = None
+                continue
+            w1 = int(q_w1[p])
+            w2 = int(q_w2[p])
+            tags = set()
+            if w1 >= 0:
+                tags.add(w1)
+            if w2 >= 0:
+                tags.add(w2)
+            ia = int(q_ia[p])
+            entry = IQEntry(op=ops[o], rob_index=int(q_rob[p]),
+                            waiting_tags=tags,
+                            issued_at=None if ia < 0 else ia)
+            slots[p] = entry
+            if ia >= 0:
+                pend.append((int(q_gs[p]), entry))
+            for w in (w1, w2):
+                if w >= 0:
+                    waiters.setdefault(w, []).append(entry)
+        pend.sort(key=lambda item: item[0])
+        q._pending_removal = [entry for _, entry in pend]
+        q._waiters = waiters
+        q._rebuild_order()
+
+    def _materialize_cache(self, cache: Any, tags: np.ndarray,
+                           cnt: np.ndarray) -> None:
+        for s in range(tags.shape[0]):
+            k = int(cnt[s])
+            cache._sets[s][:] = [int(tags[s, w]) for w in range(k)]
+
+    def materialize(self) -> None:
+        """Full arrays -> objects rebuild (idempotent).
+
+        After this the processor object graph is exactly what the
+        Python kernel's flush would have produced: snapshot_state(),
+        the sanitizer-free reference loop, or a fresh AccelSession can
+        all pick it up.
+        """
+        self.sync_out()
+        proc = self.proc
+        sv = self.sv
+        ops = self._ops
+        rename = proc.rename
+        free_top = int(sv[S_FREE_TOP])
+        rename._map[:] = [int(x) for x in self._amap]
+        rename._free[:] = [int(x) for x in self._free_arr[:free_top]]
+        rename._free_set = set(rename._free)
+        ready = self._ready
+        rename._ready = {t for t in range(ready.shape[0])
+                         if ready[t] == 1}
+        rob = proc.rob
+        entries = rob._entries
+        r_op = self._r_op
+        for p in range(rob.capacity):
+            o = int(r_op[p])
+            if o < 0:
+                entries[p] = None
+                continue
+            dst = int(self._r_dst[p])
+            freed = int(self._r_freed[p])
+            entries[p] = ROBEntry(
+                op=ops[o],
+                dst_tag=None if dst < 0 else dst,
+                freed_tag=None if freed < 0 else freed,
+                done=bool(int(self._r_done[p])),
+                issued=bool(int(self._r_issued[p])))
+        rob._head = int(sv[S_ROB_HEAD])
+        rob._tail = int(sv[S_ROB_TAIL])
+        rob._count = int(sv[S_ROB_COUNT])
+        rob.retired = int(sv[S_ROB_RETIRED])
+        proc.lsq._count = int(sv[S_LSQ_COUNT])
+        self._materialize_queue(proc.int_iq, self._iq)
+        self._materialize_queue(proc.fp_iq, self._fq)
+        for j, u in enumerate(proc._all_units):
+            n = int(self._u_n[j])
+            u._pipeline = [
+                _InFlight(ops[int(self._u_op[j, k])],
+                          int(self._u_rob[j, k]),
+                          int(self._u_fin[j, k]))
+                for k in range(n)]
+            u._next_finish = int(self._u_nf[j])
+            u._blocked_until = int(self._u_blocked[j])
+        fetch = proc.fetch
+        buffer = fetch.buffer
+        buffer.clear()
+        head = int(sv[S_FB_HEAD])
+        count = int(sv[S_FB_N])
+        fb_cap = int(self.C[C_FB_CAP])
+        for k in range(count):
+            buffer.append(ops[int(self._fb[(head + k) % fb_cap])])
+        self._materialize_cache(proc.memory.l1d, self._l1_tags,
+                                self._l1_cnt)
+        self._materialize_cache(proc.memory.l2, self._l2_tags,
+                                self._l2_cnt)
+
+
+# ---------------------------------------------------------------------------
+# backend selection
+# ---------------------------------------------------------------------------
+
+_NUMBA_CHECKED = False
+_NJIT_FN: Optional[Callable[..., int]] = None
+_COMPILE_S: Optional[float] = None
+
+
+def accel_mode() -> str:
+    """The requested accelerator mode (``REPRO_ACCEL``), read from the
+    environment on every call so tests can flip it between runs."""
+    return os.environ.get("REPRO_ACCEL", "auto").strip().lower() or "auto"
+
+
+def _njit_interp() -> Optional[Callable[..., int]]:
+    """The numba-compiled interpreter, or ``None`` when numba is not
+    installed (the ``repro[accel]`` extra).  Wrapping is cheap and done
+    once per process; actual compilation happens on the first call and
+    is timed by the first :class:`AccelSession`."""
+    global _NUMBA_CHECKED, _NJIT_FN
+    if not _NUMBA_CHECKED:
+        _NUMBA_CHECKED = True
+        try:
+            import numba
+        except Exception:
+            _NJIT_FN = None
+        else:
+            _NJIT_FN = numba.njit(cache=True)(_chunk_interp)
+    return _NJIT_FN
+
+
+def resolve_backend() -> Optional[str]:
+    """Backend name ``REPRO_ACCEL`` resolves to right now.
+
+    ``auto`` → ``"numba"`` when importable else ``None`` (the Python
+    kernel stays the fastest always-available path); ``numba`` →
+    ``"numba"``, degrading to ``"numpy"`` when not installed;
+    ``numpy`` → ``"numpy"`` (the same interpreter run as plain
+    Python — always available, used by the identity matrix); anything
+    else (``0``/``off``) → ``None``.
+    """
+    mode = accel_mode()
+    if mode == "auto":
+        return "numba" if _njit_interp() is not None else None
+    if mode == "numba":
+        return "numba" if _njit_interp() is not None else "numpy"
+    if mode == "numpy":
+        return "numpy"
+    return None
+
+
+def active_backend() -> str:
+    """Execution backend label for bench/report provenance:
+    ``numba``/``numpy`` when the accelerator is selected, ``kernel``
+    when runs fall through to the Python macro-step kernel."""
+    return resolve_backend() or "kernel"
+
+
+def accel_compile_s() -> float:
+    """Seconds the first numba compilation (or cache load) took in
+    this process; 0.0 when no numba session has been built."""
+    return _COMPILE_S if _COMPILE_S is not None else 0.0
+
+
+def maybe_session(proc: "Processor") -> Optional[AccelSession]:
+    """Build an :class:`AccelSession` for this run, or return ``None``
+    when the accelerator is disabled, unavailable, or the run needs
+    per-cycle Python visibility (decline rules in the module
+    docstring)."""
+    backend = resolve_backend()
+    if backend is None:
+        return None
+    fn = _NJIT_FN if backend == "numba" else _chunk_interp
+    if fn is None:  # pragma: no cover - defensive
+        return None
+    try:
+        return AccelSession(proc, fn, backend)
+    except _Declined:
+        return None

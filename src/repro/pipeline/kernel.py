@@ -39,6 +39,7 @@ import os
 import pickle
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
+from .accel import AccelSession, maybe_session
 from .alu import _NEVER, _InFlight
 from .isa import DEFAULT_LATENCY, NUM_INT_ARCH_REGS, OpClass
 from .issue_queue import IQEntry
@@ -75,6 +76,10 @@ def run_kernel(proc: "Processor", max_cycles: int,
     chunk whose final cycle both drains the pipeline and lands on a
     boundary (the reference samples before its drain check).
     """
+    session = maybe_session(proc)
+    if session is not None:
+        return _run_kernel_accel(session, max_cycles, on_sample,
+                                 sample_interval)
     sampling = bool(sample_interval) and on_sample is not None
     remaining = max_cycles
     while remaining > 0:
@@ -90,6 +95,44 @@ def run_kernel(proc: "Processor", max_cycles: int,
             on_sample(proc)
         if finished:
             break
+    return proc.stats
+
+
+def _run_kernel_accel(session: AccelSession, max_cycles: int,
+                      on_sample, sample_interval: int
+                      ) -> "ProcessorStats":
+    """:func:`run_kernel`'s boundary-slicing loop over a lowered
+    session (``repro.pipeline.accel``).
+
+    Same chunking, sample-fire condition, and drain break; each
+    boundary is bracketed by ``sync_out`` (scalars the DTM and power
+    accountant read) and ``sync_in`` (gating state the DTM wrote), and
+    the full object state is materialized once at the end — or on any
+    error, so a model-invariant RuntimeError leaves the processor as
+    consistent as the kernel's finally-flush would.
+    """
+    proc = session.proc
+    sampling = bool(sample_interval) and on_sample is not None
+    remaining = max_cycles
+    try:
+        while remaining > 0:
+            if sampling:
+                to_boundary = sample_interval - session.now % sample_interval
+                chunk = (to_boundary if to_boundary < remaining
+                         else remaining)
+            else:
+                to_boundary = -1
+                chunk = remaining
+            ran, finished = session.run_chunk(chunk)
+            remaining -= ran
+            if sampling and ran == chunk and chunk == to_boundary:
+                session.sync_out()
+                on_sample(proc)
+                session.sync_in()
+            if finished:
+                break
+    finally:
+        session.materialize()
     return proc.stats
 
 
@@ -851,40 +894,60 @@ def _run_class(cls: _ExecClass, store: "RunAxisStore",
     leader = cls.leader
     proc = leader.proc
     data = store.data
-    while cls.remaining > 0:
-        to_boundary = sample_interval - proc.now % sample_interval
-        chunk = to_boundary if to_boundary < cls.remaining else cls.remaining
-        ran, finished = _run_chunk(proc, chunk)
-        cls.remaining -= ran
-        if cls.followers:
-            # Broadcast this chunk's execution delta to every run
-            # still sharing the leader's execution.
-            delta = data[leader.index] - cls.prev_row
-            for follower in cls.followers:
-                data[follower.index] += delta
-        if ran == chunk and chunk == to_boundary:
-            for follower in cls.followers:
-                _sync_scalars(follower.proc, proc)
-            on_boundary([leader, *cls.followers])
+    # A lowered session executes the leader's chunks when legal; its
+    # counter writes land on the same live row views, so the broadcast
+    # delta below is backend-independent.  Forks materialize the
+    # leader's object state before the snapshot pickle.
+    session = maybe_session(proc)
+    try:
+        while cls.remaining > 0:
+            now = session.now if session is not None else proc.now
+            to_boundary = sample_interval - now % sample_interval
+            chunk = (to_boundary if to_boundary < cls.remaining
+                     else cls.remaining)
+            if session is not None:
+                ran, finished = session.run_chunk(chunk)
+            else:
+                ran, finished = _run_chunk(proc, chunk)
+            cls.remaining -= ran
             if cls.followers:
-                gate = proc.capture_gating()
-                blob: Optional[bytes] = None
-                kept: List[BatchRun] = []
+                # Broadcast this chunk's execution delta to every run
+                # still sharing the leader's execution.
+                delta = data[leader.index] - cls.prev_row
                 for follower in cls.followers:
-                    if follower.proc.capture_gating() == gate:
-                        kept.append(follower)
-                        continue
-                    # Diverged: fork into a class of its own.
-                    if blob is None:
-                        blob = pickle.dumps(proc.snapshot_state())
-                    _adopt_leader_state(follower, proc, blob, store)
-                    classes.append(
-                        _ExecClass(follower, [], cls.remaining, store))
-                cls.followers = kept
-                if kept:
-                    cls.prev_row = data[leader.index].copy()
-        if finished:
-            break
+                    data[follower.index] += delta
+            if ran == chunk and chunk == to_boundary:
+                if session is not None:
+                    session.sync_out()
+                for follower in cls.followers:
+                    _sync_scalars(follower.proc, proc)
+                on_boundary([leader, *cls.followers])
+                if cls.followers:
+                    gate = proc.capture_gating()
+                    blob: Optional[bytes] = None
+                    kept: List[BatchRun] = []
+                    for follower in cls.followers:
+                        if follower.proc.capture_gating() == gate:
+                            kept.append(follower)
+                            continue
+                        # Diverged: fork into a class of its own.
+                        if blob is None:
+                            if session is not None:
+                                session.materialize()
+                            blob = pickle.dumps(proc.snapshot_state())
+                        _adopt_leader_state(follower, proc, blob, store)
+                        classes.append(
+                            _ExecClass(follower, [], cls.remaining, store))
+                    cls.followers = kept
+                    if kept:
+                        cls.prev_row = data[leader.index].copy()
+                if session is not None:
+                    session.sync_in()
+            if finished:
+                break
+    finally:
+        if session is not None:
+            session.materialize()
     if cls.followers:
         # Class completed with followers still attached: give each
         # follower the leader's final pipeline state (identical by

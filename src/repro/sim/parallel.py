@@ -51,6 +51,7 @@ from typing import (Callable, Dict, List, Optional, Sequence, Tuple, Union)
 
 from ..analysis.sanitize import sanitize_enabled
 from ..obs.metrics import MetricsRegistry
+from ..pipeline import accel
 from ..pipeline.kernel import batch_enabled
 from .checkpoint import (CacheInfo, CheckpointError, CheckpointStore,
                          _stable, checkpoint_key, checkpoints_enabled,
@@ -277,6 +278,12 @@ class EngineStats:
     #: checkpoint vs. runs that captured a fresh one.
     checkpoint_restores: int = 0
     checkpoint_captures: int = 0
+    #: Accelerator provenance: which execution backend ``REPRO_ACCEL``
+    #: resolved to for this engine's runs (``kernel`` = the Python
+    #: macro-step kernel) and the one-time JIT compile seconds — paid
+    #: outside any run timing — when the numba backend was built.
+    accel_backend: str = "kernel"
+    accel_compile_s: float = 0.0
     #: Aggregate per-stage wall-clock seconds across executed runs
     #: (CPU time across workers, not elapsed time, when parallel).
     warmup_s: float = 0.0
@@ -406,6 +413,11 @@ class ExperimentEngine:
                 raise RuntimeError("engine produced no result for a run")
             self.stats.fleet_metrics.merge_dict(result.metrics)
             out.append(result)
+        # Provenance for bench/report: resolved once per run_many so
+        # the stats reflect the backend that actually served this
+        # submission (tests flip REPRO_ACCEL between engine calls).
+        self.stats.accel_backend = accel.active_backend()
+        self.stats.accel_compile_s = accel.accel_compile_s()
         return out
 
     # ------------------------------------------------------------------

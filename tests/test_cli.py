@@ -50,6 +50,43 @@ class TestCLI:
             build_parser().parse_args([])
 
 
+class TestBench:
+    def test_snapshot_and_history_provenance(self, cache_dir, tmp_path,
+                                             monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_ACCEL", "auto")  # restored on teardown
+        out = tmp_path / "bench.json"
+        hist = tmp_path / "hist.jsonl"
+        argv = ["bench", "--figures", "7", "--benchmarks", "parser",
+                "--cycles", "1500", "--jobs", "2", "--accel", "0",
+                "--output", str(out), "--history", str(hist)]
+        assert main(argv) == 0
+        report = json.loads(out.read_text())
+        assert report["accel_backend"] == "kernel"
+        assert report["accel_compile_s"] == 0.0
+        assert report["grids"][0]["figure"] == "7"
+        lines = hist.read_text().splitlines()
+        assert len(lines) == 1
+        entry = json.loads(lines[0])
+        assert entry["commit"]
+        assert entry["accel_backend"] == "kernel"
+        assert entry["config"] == {
+            "figures": ["7"], "benchmarks": ["parser"],
+            "cycles": 1500, "seed": 1, "jobs": 2}
+        assert entry["grids"][0]["grid_cycles_per_s"] > 0
+        # A second bench appends to the history; the snapshot stays
+        # a single latest report.
+        assert main(argv) == 0
+        assert len(hist.read_text().splitlines()) == 2
+        assert isinstance(json.loads(out.read_text()), dict)
+
+    def test_accel_flag_parses(self):
+        args = build_parser().parse_args(
+            ["run", "gzip", "--accel", "numpy"])
+        assert args.accel == "numpy"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "gzip", "--accel", "jax"])
+
+
 class TestRunTracing:
     def test_trace_prints_summary(self, capsys):
         code = main(["run", "perlbmk", "--variant", "alu",

@@ -32,6 +32,10 @@ REP104
     bumps must also be landed by the kernel (``pipeline/kernel.py``
     closure) — a counter the kernel forgets silently skews energy
     accounting only when the kernel is on, the worst kind of drift.
+    The batched arm additionally checks the merge/fork write-back:
+    any batched-path function that restores a pickled leader snapshot
+    must write the run's own counter row back into the run-axis store,
+    or adoption clobbers the follower's counters with the leader's.
 
 All four are built on the shared one-parse infrastructure
 (:class:`~repro.analysis.callgraph.ProjectIndex` and
@@ -428,6 +432,15 @@ class KernelParityRule(DeepRule):
     run-axis store) must be landed by code the batched kernel actually
     reaches — a counter only the per-run driver lands would silently
     diverge under ``REPRO_BATCH=1``.
+
+    The merge/fork write-back arm gets its own check: a batched-path
+    function in ``pipeline/kernel.py`` that calls ``restore_state``
+    (leader-snapshot adoption during fork broadcast or re-convergence
+    merge) must also store the run's own counter row back through the
+    run-axis store's backing matrix (``store.data[...] = ...``).
+    ``restore_state`` writes the *leader's* counter values through the
+    adopting run's row views, so an adoption path without the row
+    write-back silently replaces the follower's activity history.
     """
 
     rule_id = "REP104"
@@ -441,6 +454,10 @@ class KernelParityRule(DeepRule):
     KERNEL_FILE = "pipeline/kernel.py"
     BATCH_ROOT = "run_batch"
     COUNTER_SCOPE = ("pipeline/",)
+    #: method whose call marks a leader-snapshot adoption site
+    RESTORE_CALL = "restore_state"
+    #: run-axis backing-matrix attribute the write-back must store to
+    WRITEBACK_ATTR = "data"
 
     def check_project(self,
                       project: ProjectContext) -> Iterator[Finding]:
@@ -492,6 +509,43 @@ class KernelParityRule(DeepRule):
                     f"counter '{key}' is updated by the reference "
                     f"per-cycle loop but never landed on the batched "
                     f"kernel path (run_batch in pipeline/kernel.py)")
+        if batch_funcs is not None:
+            yield from self._check_writeback_arm(index, batch_funcs)
+
+    def _check_writeback_arm(self, index: "ProjectIndex",
+                             batch_funcs: Set[str]) -> Iterator[Finding]:
+        """Flag adoption sites (``restore_state`` on the batched path)
+        inside functions that never write the run's own counter row
+        back (``store.data[...] = ...``)."""
+        for qual, info in index.functions.items():
+            if (qual not in batch_funcs
+                    or not info.path.endswith(self.KERNEL_FILE)):
+                continue
+            restore_site: Optional[ast.AST] = None
+            writes_back = False
+            for node in ast.walk(info.node):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == self.RESTORE_CALL
+                        and restore_site is None):
+                    restore_site = node
+                elif isinstance(node, ast.Assign):
+                    for target in node.targets:
+                        if (isinstance(target, ast.Subscript)
+                                and isinstance(target.value,
+                                               ast.Attribute)
+                                and target.value.attr
+                                == self.WRITEBACK_ATTR):
+                            writes_back = True
+            if restore_site is not None and not writes_back:
+                yield self.finding_at(
+                    info.path, restore_site,
+                    f"batched adoption path {info.method_key}() "
+                    f"restores a leader snapshot without writing the "
+                    f"run's own counter row back to the run-axis "
+                    f"store (store.data[...] = ...); the restore "
+                    f"clobbers the follower's counters with the "
+                    f"leader's")
 
 
 DEEP_RULES: Tuple[DeepRule, ...] = (

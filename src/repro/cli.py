@@ -360,6 +360,15 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             grid["grid_cycles_per_s"] = total_cycles / serial_wall
             grid["batched_runs"] = serial.stats.batched_runs
             grid["batch_groups"] = serial.stats.batch_groups
+            # Divergence accounting from the batched serial pass plus
+            # pool-side dispatch accounting from the cold parallel one.
+            grid["fork_count"] = serial.stats.fork_count
+            grid["merge_count"] = serial.stats.merge_count
+            grid["batch_class_occupancy"] = {
+                str(size): waves for size, waves in
+                sorted(serial.stats.batch_class_occupancy.items())}
+            grid["offloaded_runs"] = engine.stats.offloaded_runs
+            grid["pool_fallbacks"] = engine.stats.pool_fallbacks
             report["grids"].append(grid)
             line = (f"figure {figure}: {runs} runs, "
                     f"{cold_wall:.2f}s cold "
@@ -371,8 +380,18 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                      f"({grid['parallel_speedup']:.2f}x, "
                      f"{grid['grid_cycles_per_s']:,.0f} grid cycles/s, "
                      f"{grid['batched_runs']} runs in "
-                     f"{grid['batch_groups']} batch(es))")
+                     f"{grid['batch_groups']} batch(es), "
+                     f"{grid['fork_count']} fork(s), "
+                     f"{grid['merge_count']} merge(s))")
             print(line)
+            if grid["parallel_speedup"] < 1.0:
+                print(f"WARNING: figure {figure}: pool dispatch at "
+                      f"jobs={jobs} ran SLOWER than batched serial "
+                      f"({grid['parallel_speedup']:.2f}x; "
+                      f"{grid['pool_fallbacks']} wave(s) already fell "
+                      f"back inline). Treat wall_s/cycles_per_s as a "
+                      f"regression signal, not a parallel win.",
+                      file=sys.stderr)
 
     print(f"accel backend: {report['accel_backend']}"
           + (f" (compile {report['accel_compile_s']:.2f}s, "
@@ -398,7 +417,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                        ("figure", "runs", "wall_s", "cycles_per_s",
                         "serial_wall_s", "grid_cycles_per_s",
                         "parallel_speedup", "batched_runs",
-                        "batch_groups")}
+                        "batch_groups", "fork_count", "merge_count",
+                        "offloaded_runs", "pool_fallbacks")}
                       for grid in report["grids"]],
         }
         with open(args.history, "a") as handle:

@@ -83,6 +83,21 @@ class ActivityToggler:
         c = self.queue.counters
         return [c.counter_evals[h] + c.long_moves[h] for h in (0, 1)]
 
+    def snapshot_state(self) -> dict:
+        """The controller's mutable observation state (the queue
+        itself is restored separately via the processor snapshot)."""
+        return {"stats": self.stats, "cooldown": self._cooldown,
+                "last_activity": list(self._last_activity),
+                "occ_history": list(self._occ_history),
+                "last_longs": self._last_longs}
+
+    def restore_state(self, state: dict) -> None:
+        self.stats = state["stats"]
+        self._cooldown = state["cooldown"]
+        self._last_activity = list(state["last_activity"])
+        self._occ_history = deque(state["occ_history"], maxlen=4)
+        self._last_longs = state["last_longs"]
+
     def _toggle(self, half_temps: Tuple[float, float],
                 emergency: bool = False) -> bool:
         self.queue.toggle()

@@ -127,6 +127,40 @@ class ThermalManager:
         return self.processor.now
 
     # ------------------------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Every mutable field of the controller and its
+        sub-controllers, as plain picklable data (the controllers
+        themselves hold processor-bound callbacks and cannot be
+        pickled).  Used for mid-run handoff of a run to another
+        process; the receiving manager is built from the same config,
+        so the structural fields already match."""
+        state: dict = {
+            "stats": self.stats,
+            "above_ceiling": set(self._above_ceiling),
+            "pending_resume": self._pending_resume,
+        }
+        for name in ("int_toggler", "fp_toggler", "alu_controller",
+                     "fp_adder_controller", "rf_controller"):
+            controller = getattr(self, name)
+            state[name] = (controller.snapshot_state()
+                           if controller is not None else None)
+        return state
+
+    def restore_state(self, state: dict) -> None:
+        self.stats = state["stats"]
+        self._above_ceiling = set(state["above_ceiling"])
+        self._pending_resume = state["pending_resume"]
+        for name in ("int_toggler", "fp_toggler", "alu_controller",
+                     "fp_adder_controller", "rf_controller"):
+            controller = getattr(self, name)
+            sub = state[name]
+            if (controller is None) != (sub is None):
+                raise ValueError(
+                    f"controller mismatch restoring {name}")
+            if controller is not None:
+                controller.restore_state(sub)
+
+    # ------------------------------------------------------------------
     def on_sample(self, processor: Processor) -> None:
         """Run one DTM decision round (called every sensing interval)."""
         if processor is not self.processor:

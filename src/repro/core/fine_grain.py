@@ -107,6 +107,16 @@ class FineGrainController:
             self.stats.all_off_events += 1
         return all_off
 
+    def snapshot_state(self) -> dict:
+        """The controller's mutable state; the gating side effects of
+        ``off`` (busy flags, disabled copies) live in the processor
+        snapshot and are restored there."""
+        return {"off": list(self.off), "stats": self.stats}
+
+    def restore_state(self, state: dict) -> None:
+        self.off = list(state["off"])
+        self.stats = state["stats"]
+
     def force_all_on(self) -> None:
         """Re-enable everything (e.g. after a global cooling stall)."""
         for copy in range(self.n_copies):

@@ -341,6 +341,21 @@ def generate(figures: Sequence[str] = ("6", "7", "8"),
         f"execution backend: {stats.accel_backend}{compile_note}. "
         f"Regenerate with: repro report --figures "
         f"{','.join(figures)} --cycles {max_cycles} --seed {seed}.")
+    if stats.batched_runs:
+        occupancy = ", ".join(
+            f"{waves} wave(s) x {size} class(es)" for size, waves in
+            sorted(stats.batch_class_occupancy.items()))
+        offload_note = (
+            f"; {stats.offloaded_runs} follower(s) offloaded to the "
+            f"worker pool" if stats.offloaded_runs else "")
+        fallback_note = (
+            f"; {stats.pool_fallbacks} pool wave(s) fell back inline"
+            if stats.pool_fallbacks else "")
+        report.paragraph(
+            f"Divergence accounting: {stats.fork_count} fork(s), "
+            f"{stats.merge_count} re-convergence merge(s); "
+            f"per-boundary execution-class occupancy: "
+            f"{occupancy or 'n/a'}{offload_note}{fallback_note}.")
     fleet = stats.fleet_metrics
     if "temp.peak_k" in fleet:
         peak = fleet.gauge("temp.peak_k").value

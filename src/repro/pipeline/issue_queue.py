@@ -431,17 +431,37 @@ class CompactingIssueQueue:
         c[IQC_OCCUPANCY_SUM] += self._top - self._holes
         if self._holes == 0 and not self._pending_removal:
             return  # fully compacted, nothing marked invalid: all gated
-        self._compact()
+        ce0, ce1, cm0, cm1, mx0, mx1, lm0, lm1 = self._compact()
+        if ce0:
+            c[IQC_COUNTER_EVALS_0] += ce0
+        if ce1:
+            c[IQC_COUNTER_EVALS_1] += ce1
+        if cm0:
+            c[IQC_COMPACTION_MOVES_0] += cm0
+        if cm1:
+            c[IQC_COMPACTION_MOVES_0 + 1] += cm1
+        if mx0:
+            c[IQC_MUX_SELECTS_0] += mx0
+        if mx1:
+            c[IQC_MUX_SELECTS_0 + 1] += mx1
+        if lm0:
+            c[IQC_LONG_MOVES_0] += lm0
+        if lm1:
+            c[IQC_LONG_MOVES_0 + 1] += lm1
 
-    def _compact(self) -> None:  # repro: hot-loop
+    def _compact(self) -> Tuple[int, int, int, int, int, int, int, int]:
+        # repro: hot-loop
+        """One compaction step.  Returns the per-half activity tallies
+        ``(ce0, ce1, cm0, cm1, mx0, mx1, lm0, lm1)`` — counter evals,
+        compaction moves, mux selects, long moves — instead of flushing
+        them to the SoA array itself: :meth:`tick` applies them per
+        call, while the macro-step kernel accumulates them in plain
+        locals and flushes once per chunk (a numpy scalar add per tick
+        would dominate its loop)."""
         window = self.replay_window
         now = self._now
         order, slots = self._order, self.slots
-        c = self._c
         pending = self._pending_removal
-        # Per-half event tallies accumulate in plain ints and flush to
-        # the SoA array once per call (a numpy scalar add per event
-        # would dominate this loop).
         ce0 = ce1 = 0
         if (self._holes == 0 and pending
                 and now - pending[0].issued_at < window):
@@ -452,21 +472,20 @@ class CompactingIssueQueue:
             # invalid-marked (issued) slot evaluates its counter
             # stages (rules 1 and 2).
             mid = self.mid
-            marked_below = 0
-            for logical in range(self._top):
-                src_phys = order[logical]
-                if marked_below:
-                    if src_phys < mid:
-                        ce0 += 1
-                    else:
-                        ce1 += 1
-                if slots[src_phys].issued_at is not None:
-                    marked_below += 1
-            if ce0:
-                c[IQC_COUNTER_EVALS_0] += ce0
-            if ce1:
-                c[IQC_COUNTER_EVALS_1] += ce1
-            return
+            top = self._top
+            first = top
+            for logical in range(top):
+                if slots[order[logical]].issued_at is not None:
+                    first = logical
+                    break
+            # Every entry above the lowest invalid-marked slot evaluates,
+            # including other issued entries.
+            for logical in range(first + 1, top):
+                if order[logical] < mid:
+                    ce0 += 1
+                else:
+                    ce1 += 1
+            return ce0, ce1, 0, 0, 0, 0, 0, 0
         cm0 = cm1 = mx0 = mx1 = lm0 = lm1 = 0
         compact_width = self.compact_width
         n = self.n_entries
@@ -538,22 +557,7 @@ class CompactingIssueQueue:
             self._pending_removal = [  # repro: noqa[REP007]
                 e for e in self._pending_removal
                 if now - e.issued_at < window]
-        if ce0:
-            c[IQC_COUNTER_EVALS_0] += ce0
-        if ce1:
-            c[IQC_COUNTER_EVALS_1] += ce1
-        if cm0:
-            c[IQC_COMPACTION_MOVES_0] += cm0
-        if cm1:
-            c[IQC_COMPACTION_MOVES_0 + 1] += cm1
-        if mx0:
-            c[IQC_MUX_SELECTS_0] += mx0
-        if mx1:
-            c[IQC_MUX_SELECTS_0 + 1] += mx1
-        if lm0:
-            c[IQC_LONG_MOVES_0] += lm0
-        if lm1:
-            c[IQC_LONG_MOVES_0 + 1] += lm1
+        return ce0, ce1, cm0, cm1, mx0, mx1, lm0, lm1
 
     # ------------------------------------------------------------------
     # activity toggling (the paper's technique)

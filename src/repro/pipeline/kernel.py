@@ -37,15 +37,18 @@ from __future__ import annotations
 
 import os
 import pickle
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from .accel import AccelSession, maybe_session
 from .alu import _NEVER, _InFlight
 from .isa import DEFAULT_LATENCY, NUM_INT_ARCH_REGS, OpClass
 from .issue_queue import IQEntry
 from .rob import ROBEntry
-from .soa import (IQC_BROADCASTS, IQC_CYCLES, IQC_INSERTS,
+from .soa import (IQC_BROADCASTS, IQC_COMPACTION_MOVES_0,
+                  IQC_COUNTER_EVALS_0, IQC_COUNTER_EVALS_1, IQC_CYCLES,
+                  IQC_INSERTS, IQC_LONG_MOVES_0, IQC_MUX_SELECTS_0,
                   IQC_OCCUPANCY_SUM, IQC_PAYLOAD_OPS, IQC_SELECT_GRANTS)
+from ..workloads.trace import ReplayTrace as _ReplayTrace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .processor import Processor, ProcessorStats
@@ -196,8 +199,21 @@ def _run_chunk(proc: "Processor", n_cycles: int) -> Tuple[int, bool]:
     f_resume = fetch._resume_at
     f_count = fetch._count_this_cycle
     penalty = fetch.mispredict_penalty
-    trace_next = fetch.trace.__next__
+    trace = fetch.trace
+    trace_next = trace.__next__
     pred_mis = fetch.predictor.mispredicted
+    # Replayable traces (the normal case) are fetched by direct list
+    # indexing — ``__next__``'s cursor bump and try/except cost a
+    # method call per fetched op.  ``t_ops`` doubles as the fast-path
+    # flag; custom iterator traces keep the generic loop.
+    if type(trace) is _ReplayTrace:
+        t_ops = trace._ops
+        t_get = trace.buffer.get
+        t_pos = trace.position
+        t_len = len(t_ops)
+    else:
+        t_ops = None
+        t_pos = 0
 
     memory = proc.memory
     mem_load_latency = memory.load_latency
@@ -231,6 +247,10 @@ def _run_chunk(proc: "Processor", n_cycles: int) -> Tuple[int, bool]:
     # list index instead of an attribute load.
     pipelines = [u._pipeline for u in units]
     nf = [u._next_finish for u in units]
+    # Earliest pending finish across all units: writeback skips the
+    # whole per-unit scan on cycles where nothing can drain.  Kept
+    # current at every site that lowers a unit's next-finish.
+    min_nf = min(nf)
     int_ops_acc = [0] * n_int
     fp_ops_acc = [0] * n_fp
     mul_ops_acc = 0
@@ -263,7 +283,10 @@ def _run_chunk(proc: "Processor", n_cycles: int) -> Tuple[int, bool]:
     int_waiters = int_iq._waiters
     int_waiters_get = int_waiters.get
     int_waiters_pop = int_waiters.pop
+    i_compact = int_iq._compact
     ic_ticks = ic_occ = ic_bcasts = ic_ins = ic_grants = 0
+    ic_ce0 = ic_ce1 = ic_cm0 = ic_cm1 = 0
+    ic_mx0 = ic_mx1 = ic_lm0 = ic_lm1 = 0
 
     fp_iq = proc.fp_iq
     fq_order = fp_iq._order
@@ -272,7 +295,10 @@ def _run_chunk(proc: "Processor", n_cycles: int) -> Tuple[int, bool]:
     fp_waiters = fp_iq._waiters
     fp_waiters_get = fp_waiters.get
     fp_waiters_pop = fp_waiters.pop
+    f_compact = fp_iq._compact
     fc_ticks = fc_occ = fc_bcasts = fc_ins = fc_grants = 0
+    fc_ce0 = fc_ce1 = fc_cm0 = fc_cm1 = 0
+    fc_mx0 = fc_mx1 = fc_lm0 = fc_lm1 = 0
 
     int_sel = proc.int_select
     int_rr = int_sel.round_robin
@@ -300,6 +326,24 @@ def _run_chunk(proc: "Processor", n_cycles: int) -> Tuple[int, bool]:
     OC_INT_MUL = OpClass.INT_MUL
     OC_FP_ADD = OpClass.FP_ADD
     OC_FP_MUL = OpClass.FP_MUL
+
+    # Ready-entry scoreboard: counts entries whose waiting set is empty
+    # and which have not issued.  Lets the issue stage skip the O(top)
+    # ready scans on cycles where the queues hold only waiting or
+    # replay-pending entries (the common case in stall-heavy regions).
+    # Maintained at the three sites that change readiness — dispatch
+    # insert, writeback broadcast, and grant — and recomputed here each
+    # chunk so restores between chunks need no extra bookkeeping.
+    i_ready_n = 0
+    for phys in i_order[:int_iq._top]:
+        e = int_iq.slots[phys]
+        if e is not None and e.issued_at is None and not e.waiting_tags:
+            i_ready_n += 1
+    f_ready_n = 0
+    for phys in fq_order[:fp_iq._top]:
+        e = fp_iq.slots[phys]
+        if e is not None and e.issued_at is None and not e.waiting_tags:
+            f_ready_n += 1
 
     try:
         while now < end:
@@ -362,50 +406,64 @@ def _run_chunk(proc: "Processor", n_cycles: int) -> Tuple[int, bool]:
                     st_committed += n_commit
 
             # ---- writeback (inlined ``FunctionalUnit.drain``) --------
-            for j in range(n_units):
-                if now < nf[j]:
-                    continue
-                remaining = []
-                next_finish = _NEVER
-                for done in pipelines[j]:
-                    fin = done.finish_cycle
-                    if fin > now:
-                        remaining.append(done)
-                        if fin < next_finish:
-                            next_finish = fin
+            if now >= min_nf:
+                min_nf = _NEVER
+                for j in range(n_units):
+                    fin_j = nf[j]
+                    if now < fin_j:
+                        if fin_j < min_nf:
+                            min_nf = fin_j
                         continue
-                    op = done.op
-                    entry = rob_entries[done.rob_index]
-                    entry.done = True
-                    oc = op.opclass
-                    if oc is OC_BRANCH and f_blocking == op.seq:
-                        f_blocking = None
-                        f_resume = now + penalty
-                    tag = entry.dst_tag
-                    if tag is not None:
-                        ready_add(tag)
-                        ic_bcasts += 1
-                        bucket = int_waiters_pop(tag, None)
-                        if bucket is not None:
-                            for waiter in bucket:
-                                waiter.waiting_tags.discard(tag)
-                        fc_bcasts += 1
-                        bucket = fp_waiters_pop(tag, None)
-                        if bucket is not None:
-                            for waiter in bucket:
-                                waiter.waiting_tags.discard(tag)
-                        if oc is OC_FP_ADD or oc is OC_FP_MUL:
-                            fp_acc += 1
-                        else:
-                            rf_write_events += 1
-                pipelines[j] = remaining
-                nf[j] = next_finish
-                if not fast_units:
-                    # Keep the unit's own state live so the sanitizer's
-                    # wrapped ``start`` appends to the current list.
-                    unit = units[j]
-                    unit._pipeline = remaining
-                    unit._next_finish = next_finish
+                    remaining = []
+                    next_finish = _NEVER
+                    for done in pipelines[j]:
+                        fin = done.finish_cycle
+                        if fin > now:
+                            remaining.append(done)
+                            if fin < next_finish:
+                                next_finish = fin
+                            continue
+                        op = done.op
+                        entry = rob_entries[done.rob_index]
+                        entry.done = True
+                        oc = op.opclass
+                        if oc is OC_BRANCH and f_blocking == op.seq:
+                            f_blocking = None
+                            f_resume = now + penalty
+                        tag = entry.dst_tag
+                        if tag is not None:
+                            ready_add(tag)
+                            ic_bcasts += 1
+                            bucket = int_waiters_pop(tag, None)
+                            if bucket is not None:
+                                for waiter in bucket:
+                                    wt = waiter.waiting_tags
+                                    wt.discard(tag)
+                                    if not wt:
+                                        i_ready_n += 1
+                            fc_bcasts += 1
+                            bucket = fp_waiters_pop(tag, None)
+                            if bucket is not None:
+                                for waiter in bucket:
+                                    wt = waiter.waiting_tags
+                                    wt.discard(tag)
+                                    if not wt:
+                                        f_ready_n += 1
+                            if oc is OC_FP_ADD or oc is OC_FP_MUL:
+                                fp_acc += 1
+                            else:
+                                rf_write_events += 1
+                    pipelines[j] = remaining
+                    nf[j] = next_finish
+                    if next_finish < min_nf:
+                        min_nf = next_finish
+                    if not fast_units:
+                        # Keep the unit's own state live so the
+                        # sanitizer's wrapped ``start`` appends to the
+                        # current list.
+                        unit = units[j]
+                        unit._pipeline = remaining
+                        unit._next_finish = next_finish
 
             if throttled_until > now and now & 1:
                 st_throttled += 1
@@ -413,15 +471,21 @@ def _run_chunk(proc: "Processor", n_cycles: int) -> Tuple[int, bool]:
                 # ---- issue (fused select + grant + unit start) -------
                 budget = issue_width
                 if int_iq._top != int_iq._holes:
-                    slots = int_iq.slots
-                    ready: List[int] = [
-                        phys for phys in i_order[:int_iq._top]
-                        if (e := slots[phys]) is not None
-                        and e.issued_at is None and not e.waiting_tags]
                     isc_cycles += 1
-                    n_ready = len(ready)
-                    isc_req += n_ready
-                    cap = budget if budget < n_ready else n_ready
+                    if i_ready_n:
+                        slots = int_iq.slots
+                        ready: List[int] = [
+                            phys for phys in i_order[:int_iq._top]
+                            if (e := slots[phys]) is not None
+                            and e.issued_at is None and not e.waiting_tags]
+                        n_ready = len(ready)
+                        isc_req += n_ready
+                        cap = budget if budget < n_ready else n_ready
+                    else:
+                        # Scoreboard says nothing can issue: the scan
+                        # would be empty, so only the selection-logic
+                        # cycle counter advances.
+                        cap = 0
                     taken = 0
                     if cap:
                         i_pending = int_iq._pending_removal
@@ -483,6 +547,8 @@ def _run_chunk(proc: "Processor", n_cycles: int) -> Tuple[int, bool]:
                                     mk_inflight(op, e.rob_index, fin))
                                 if fin < nf[t]:
                                     nf[t] = fin
+                                if fin < min_nf:
+                                    min_nf = fin
                                 int_ops_acc[t] += 1
                             else:
                                 int_starts[t](op, e.rob_index, now, extra)
@@ -490,22 +556,43 @@ def _run_chunk(proc: "Processor", n_cycles: int) -> Tuple[int, bool]:
                                 if oc is OC_INT_MUL:
                                     int_blocked[t] = u._blocked_until
                                 nf[t] = u._next_finish
+                                if nf[t] < min_nf:
+                                    min_nf = nf[t]
                             rob_entries[e.rob_index].issued = True
                             st_issued += 1
                         budget -= taken
+                        i_ready_n -= taken
                     if int_rr:
                         int_rr_off = (int_rr_off + 1) % n_int
                 if budget > 0 and fp_iq._top != fp_iq._holes:
-                    slots = fp_iq.slots
-                    ready = [
-                        phys for phys in fq_order[:fp_iq._top]
-                        if (e := slots[phys]) is not None
-                        and e.issued_at is None and not e.waiting_tags
-                        and e.op.opclass is OC_FP_ADD]
                     fsc_cycles += 1
-                    n_ready = len(ready)
-                    fsc_req += n_ready
-                    cap = budget if budget < n_ready else n_ready
+                    if f_ready_n:
+                        slots = fp_iq.slots
+                        # One scan feeds both the FP-add pass and the
+                        # FP-mul pass below: add grants never touch mul
+                        # entries, so the mul-ready set is identical to
+                        # what the reference's post-grant re-scan would
+                        # produce.
+                        ready = []
+                        ready_mul = []
+                        for phys in fq_order[:fp_iq._top]:
+                            e = slots[phys]
+                            if (e is None or e.issued_at is not None
+                                    or e.waiting_tags):
+                                continue
+                            if e.op.opclass is OC_FP_ADD:
+                                ready.append(phys)
+                            else:
+                                ready_mul.append(phys)
+                        n_ready = len(ready)
+                        fsc_req += n_ready
+                        cap = budget if budget < n_ready else n_ready
+                    else:
+                        # Scoreboard: queue holds only waiting or
+                        # replay-pending entries, so both passes see
+                        # zero requests.
+                        ready_mul = ()
+                        cap = 0
                     taken = 0
                     f_pending = fp_iq._pending_removal
                     if cap:
@@ -548,30 +635,31 @@ def _run_chunk(proc: "Processor", n_cycles: int) -> Tuple[int, bool]:
                                     mk_inflight(op, e.rob_index, fin))
                                 if fin < nf[j]:
                                     nf[j] = fin
+                                if fin < min_nf:
+                                    min_nf = fin
                                 fp_ops_acc[t] += 1
                             else:
                                 fp_starts[t](op, e.rob_index, now)
-                                nf[n_int + t] = \
-                                    fp_adders[t]._next_finish
+                                fin = fp_adders[t]._next_finish
+                                nf[n_int + t] = fin
+                                if fin < min_nf:
+                                    min_nf = fin
                             rob_entries[e.rob_index].issued = True
                             st_issued += 1
+                    f_ready_n -= taken
                     if fp_rr:
                         fp_rr_off = (fp_rr_off + 1) % n_fp
                     if taken < budget:
-                        # FP multiplier pass re-scans: adds granted
-                        # above are no longer ready.
-                        ready = [
-                            phys for phys in fq_order[:fp_iq._top]
-                            if (e := slots[phys]) is not None
-                            and e.issued_at is None
-                            and not e.waiting_tags
-                            and e.op.opclass is OC_FP_MUL]
+                        # FP multiplier pass (uses the fused scan: the
+                        # adds granted above were never in
+                        # ``ready_mul``).
                         msc_cycles += 1
-                        msc_req += len(ready)
-                        if ready and not (fpm_busy
-                                          or now < fpm_blocked):
-                            phys = ready[0]
+                        msc_req += len(ready_mul)
+                        if ready_mul and not (fpm_busy
+                                              or now < fpm_blocked):
+                            phys = ready_mul[0]
                             mgpt[0] += 1
+                            f_ready_n -= 1
                             e = slots[phys]
                             e.issued_at = fq_now
                             f_pending.append(e)
@@ -585,10 +673,15 @@ def _run_chunk(proc: "Processor", n_cycles: int) -> Tuple[int, bool]:
                                     mk_inflight(op, e.rob_index, fin))
                                 if fin < nf[mul_j]:
                                     nf[mul_j] = fin
+                                if fin < min_nf:
+                                    min_nf = fin
                                 mul_ops_acc += 1
                             else:
                                 fp_mul_start(op, e.rob_index, now)
-                                nf[mul_j] = fp_mul._next_finish
+                                fin = fp_mul._next_finish
+                                nf[mul_j] = fin
+                                if fin < min_nf:
+                                    min_nf = fin
                             rob_entries[e.rob_index].issued = True
                             st_issued += 1
 
@@ -598,13 +691,29 @@ def _run_chunk(proc: "Processor", n_cycles: int) -> Tuple[int, bool]:
                 ic_occ += int_iq._top - int_iq._holes
                 if int_iq._holes or int_iq._pending_removal:
                     int_iq._now = i_now
-                    int_iq._compact()
+                    t0, t1, t2, t3, t4, t5, t6, t7 = i_compact()
+                    ic_ce0 += t0
+                    ic_ce1 += t1
+                    ic_cm0 += t2
+                    ic_cm1 += t3
+                    ic_mx0 += t4
+                    ic_mx1 += t5
+                    ic_lm0 += t6
+                    ic_lm1 += t7
                 fq_now += 1
                 fc_ticks += 1
                 fc_occ += fp_iq._top - fp_iq._holes
                 if fp_iq._holes or fp_iq._pending_removal:
                     fp_iq._now = fq_now
-                    fp_iq._compact()
+                    t0, t1, t2, t3, t4, t5, t6, t7 = f_compact()
+                    fc_ce0 += t0
+                    fc_ce1 += t1
+                    fc_cm0 += t2
+                    fc_cm1 += t3
+                    fc_mx0 += t4
+                    fc_mx1 += t5
+                    fc_lm0 += t6
+                    fc_lm1 += t7
 
                 # ---- dispatch (peek-based rename + insert) -----------
                 if f_buffer:
@@ -673,6 +782,8 @@ def _run_chunk(proc: "Processor", n_cycles: int) -> Tuple[int, bool]:
                         queue._top += 1
                         if queue is int_iq:
                             ic_ins += 1
+                            if not waiting:
+                                i_ready_n += 1
                             for tag in wlist:
                                 bucket = int_waiters_get(tag)
                                 if bucket is None:
@@ -681,6 +792,8 @@ def _run_chunk(proc: "Processor", n_cycles: int) -> Tuple[int, bool]:
                                     bucket.append(iq_entry)
                         else:
                             fc_ins += 1
+                            if not waiting:
+                                f_ready_n += 1
                             for tag in wlist:
                                 bucket = fp_waiters_get(tag)
                                 if bucket is None:
@@ -693,21 +806,43 @@ def _run_chunk(proc: "Processor", n_cycles: int) -> Tuple[int, bool]:
                 if f_resume is not None and now >= f_resume:
                     f_resume = None
                 if f_resume is None and f_blocking is None:
-                    while len(f_buffer) < f_capacity and f_count < f_width:
-                        try:
-                            op = trace_next()
-                        except StopIteration:
-                            f_exhausted = True
-                            break
-                        f_push(op)
-                        f_fetched += 1
-                        f_count += 1
-                        if op.opclass is OC_BRANCH:
-                            if pred_mis(op, op.taken):
-                                op.mispredicted = True
-                                f_blocking = op.seq
+                    if t_ops is not None:
+                        # Replay fast path: endless stream, direct
+                        # indexing (the cursor flushes back in finally).
+                        while (len(f_buffer) < f_capacity
+                               and f_count < f_width):
+                            if t_pos < t_len:
+                                op = t_ops[t_pos]
+                            else:
+                                op = t_get(t_pos)
+                                t_len = len(t_ops)
+                            t_pos += 1
+                            f_push(op)
+                            f_fetched += 1
+                            f_count += 1
+                            if op.opclass is OC_BRANCH:
+                                if pred_mis(op, op.taken):
+                                    op.mispredicted = True
+                                    f_blocking = op.seq
+                                    break
+                                op.mispredicted = False
+                    else:
+                        while (len(f_buffer) < f_capacity
+                               and f_count < f_width):
+                            try:
+                                op = trace_next()
+                            except StopIteration:
+                                f_exhausted = True
                                 break
-                            op.mispredicted = False
+                            f_push(op)
+                            f_fetched += 1
+                            f_count += 1
+                            if op.opclass is OC_BRANCH:
+                                if pred_mis(op, op.taken):
+                                    op.mispredicted = True
+                                    f_blocking = op.seq
+                                    break
+                                op.mispredicted = False
 
             if f_exhausted and rob_count == 0 and not f_buffer:
                 finished = True
@@ -730,6 +865,8 @@ def _run_chunk(proc: "Processor", n_cycles: int) -> Tuple[int, bool]:
         fetch._blocking_branch = f_blocking
         fetch._resume_at = f_resume
         fetch._count_this_cycle = f_count
+        if t_ops is not None:
+            trace.position = t_pos
         proc.fp_reg_accesses = fp_acc
         int_iq._now = i_now
         fp_iq._now = fq_now
@@ -740,6 +877,14 @@ def _run_chunk(proc: "Processor", n_cycles: int) -> Tuple[int, bool]:
         c[IQC_INSERTS] += ic_ins
         c[IQC_SELECT_GRANTS] += ic_grants
         c[IQC_PAYLOAD_OPS] += ic_grants
+        c[IQC_COUNTER_EVALS_0] += ic_ce0
+        c[IQC_COUNTER_EVALS_1] += ic_ce1
+        c[IQC_COMPACTION_MOVES_0] += ic_cm0
+        c[IQC_COMPACTION_MOVES_0 + 1] += ic_cm1
+        c[IQC_MUX_SELECTS_0] += ic_mx0
+        c[IQC_MUX_SELECTS_0 + 1] += ic_mx1
+        c[IQC_LONG_MOVES_0] += ic_lm0
+        c[IQC_LONG_MOVES_0 + 1] += ic_lm1
         c = fp_iq._c
         c[IQC_CYCLES] += fc_ticks
         c[IQC_OCCUPANCY_SUM] += fc_occ
@@ -747,6 +892,14 @@ def _run_chunk(proc: "Processor", n_cycles: int) -> Tuple[int, bool]:
         c[IQC_INSERTS] += fc_ins
         c[IQC_SELECT_GRANTS] += fc_grants
         c[IQC_PAYLOAD_OPS] += fc_grants
+        c[IQC_COUNTER_EVALS_0] += fc_ce0
+        c[IQC_COUNTER_EVALS_1] += fc_ce1
+        c[IQC_COMPACTION_MOVES_0] += fc_cm0
+        c[IQC_COMPACTION_MOVES_0 + 1] += fc_cm1
+        c[IQC_MUX_SELECTS_0] += fc_mx0
+        c[IQC_MUX_SELECTS_0 + 1] += fc_mx1
+        c[IQC_LONG_MOVES_0] += fc_lm0
+        c[IQC_LONG_MOVES_0 + 1] += fc_lm1
         int_sel.counters.cycles = isc_cycles
         int_sel.counters.requests_seen = isc_req
         int_sel._rr_offset = int_rr_off
@@ -809,6 +962,58 @@ def batch_enabled() -> bool:
     return os.environ.get("REPRO_BATCH", "1") != "0"
 
 
+def batch_merge_enabled() -> bool:
+    """Whether diverged execution classes may fold back together when
+    their pipeline state re-converges (``REPRO_BATCH_MERGE``).
+
+    Read from the environment on every call so tests can flip the
+    variable between runs without rebuilding anything.
+    """
+    return os.environ.get("REPRO_BATCH_MERGE", "1") != "0"
+
+
+class BatchStats:
+    """Observable bookkeeping of batched execution.
+
+    One instance can accumulate across several batched groups (the
+    experiment engine folds these into ``EngineStats``).
+    """
+
+    __slots__ = ("fork_count", "merge_count", "boundaries",
+                 "class_occupancy", "snapshot_full", "snapshot_reused",
+                 "offloaded_runs")
+
+    def __init__(self) -> None:
+        #: Followers that diverged from their leader and became
+        #: execution classes of their own.
+        self.fork_count = 0
+        #: Runs folded back into another class after re-convergence.
+        self.merge_count = 0
+        #: Sampling boundaries stepped by the lock-step wave loop.
+        self.boundaries = 0
+        #: ``{live execution classes -> boundaries observed at that
+        #: occupancy}`` — the divergence trajectory of the grid.
+        self.class_occupancy: Dict[int, int] = {}
+        #: Full leader snapshots pickled for forks.
+        self.snapshot_full = 0
+        #: Forks served by a cached copy-on-write snapshot (leader ran
+        #: only bulk-skipped stall cycles since the last capture).
+        self.snapshot_reused = 0
+        #: Diverged singleton classes handed to the process pool.
+        self.offloaded_runs = 0
+
+    def merge_from(self, other: "BatchStats") -> None:
+        self.fork_count += other.fork_count
+        self.merge_count += other.merge_count
+        self.boundaries += other.boundaries
+        for occupancy, count in other.class_occupancy.items():
+            self.class_occupancy[occupancy] = (
+                self.class_occupancy.get(occupancy, 0) + count)
+        self.snapshot_full += other.snapshot_full
+        self.snapshot_reused += other.snapshot_reused
+        self.offloaded_runs += other.offloaded_runs
+
+
 class BatchRun:
     """One run's slot in a batched kernel invocation.
 
@@ -834,10 +1039,13 @@ class _ExecClass:
     """Runs currently sharing one execution (leader executes,
     followers receive broadcast deltas)."""
 
-    __slots__ = ("leader", "followers", "remaining", "prev_row")
+    __slots__ = ("leader", "followers", "remaining", "prev_row",
+                 "session", "done", "at_boundary", "finished",
+                 "blob", "blob_stamp", "merge_wait")
 
     def __init__(self, leader: BatchRun, followers: List[BatchRun],
-                 remaining: int, store: "RunAxisStore") -> None:
+                 remaining: int, store: "RunAxisStore",
+                 merge_wait: int = -1) -> None:
         self.leader = leader
         self.followers = followers
         self.remaining = remaining
@@ -846,11 +1054,153 @@ class _ExecClass:
         # counter bumps — which followers make on their own rows —
         # never leak into the execution delta).
         self.prev_row = store.row(leader.index).copy() if followers else None
+        # A lowered accelerator session executing this class's chunks
+        # (created lazily at the first advance; ``None`` for the pure
+        # kernel backend).
+        self.session: Optional[AccelSession] = None
+        self.done = False
+        self.at_boundary = False
+        self.finished = False
+        # Copy-on-write fork snapshot: the leader's pickled pipeline
+        # state, valid while the leader has executed only bulk-skipped
+        # stall cycles since capture (``blob_stamp`` is the active
+        # cycle count at capture time).
+        self.blob: Optional[bytes] = None
+        self.blob_stamp = -1
+        # Boundaries to wait for a re-convergence merge before
+        # offering this class to the process pool (-1: never offload —
+        # initial classes are the inline backbone of the group).
+        self.merge_wait = merge_wait
+
+
+def _effective_gating(proc: "Processor") -> tuple:
+    """The gating tuple with stall/throttle deadlines normalized to
+    cycles-remaining.
+
+    An expired deadline is semantically inert — ``is_stalled``, the
+    kernel's stall gate, and ``global_stall``'s ``max(old, now + c)``
+    all behave identically for any past value — so two runs whose
+    deadlines differ only in *when they expired* share their execution
+    exactly.  Comparing normalized deadlines keeps such runs in one
+    class instead of forking on dead state.
+    """
+    stalled, throttled, *rest = proc.capture_gating()
+    now = proc.now
+    stalled -= now
+    throttled -= now
+    return (stalled if stalled > 0 else 0,
+            throttled if throttled > 0 else 0, *rest)
+
+
+def _merge_signature(proc: "Processor") -> tuple:
+    """Cheap scalar prefilter for re-convergence: two runs can only
+    share future execution if every scalar the execution reads or
+    reports agrees."""
+    st = proc.stats
+    fetch = proc.fetch
+    mem = proc.memory
+    return (proc.now, st.cycles, st.committed, st.issued,
+            st.stall_cycles, st.throttled_cycles, fetch.fetched,
+            fetch.trace.position, proc.rob.retired,
+            proc.fp_reg_accesses, mem.l1d.stats.accesses,
+            mem.l2.stats.accesses)
+
+
+def _merge_digest(proc: "Processor") -> bytes:
+    """Full-state digest deciding re-convergence.
+
+    Pickle-byte equality of the masked snapshot implies structural
+    identity of everything future execution depends on, so two runs
+    with equal digests (and equal :func:`_merge_signature` scalars)
+    produce bit-identical results from here on whether they execute
+    separately or share one leader.  Masked before pickling:
+
+    * per-run SoA counters (issue-queue counter blocks, functional-unit
+      banks, regfile access counts) — they live on each run's own row,
+      legitimately differ, and are preserved across adoption anyway;
+    * stall/throttle deadlines, normalized to cycles-remaining exactly
+      as :func:`_effective_gating` does (expired deadlines are inert);
+    * set-valued state (rename ``ready``, regfile ``off``/``blocked``,
+      issue-queue entry ``waiting_tags``), replaced by sorted tuples.
+      These sets are membership-only — nothing iterates them in an
+      execution-relevant order (checkpoint restore rebuilds them via
+      ``set(...)`` and stays bit-identical) — but their pickle bytes
+      depend on insertion history, and a forked run's state went
+      through a pickle round-trip that reorders them.  Without the
+      canonicalization a fork could never match its origin class again.
+
+    Residual dict iteration-order differences can still produce
+    different bytes for equal states (a false negative) — that only
+    costs a missed merge, never a wrong one.
+    """
+    state = dict(proc.snapshot_state())
+    now = proc.now
+    for key in ("stalled_until", "throttled_until"):
+        left = state[key] - now
+        state[key] = left if left > 0 else 0
+    for key in ("int_iq", "fp_iq"):
+        queue = dict(state[key], counters=None)
+        queue["slots"] = [_canon_entry(e) for e in queue["slots"]]
+        queue["pending_removal"] = [_canon_entry(e) for e in
+                                    queue["pending_removal"]]
+        state[key] = queue
+    for key in ("int_alus", "fp_adders"):
+        state[key] = [dict(unit, counters=None) for unit in state[key]]
+    state["fp_mul"] = dict(state["fp_mul"], counters=None)
+    regfile = dict(state["regfile"], counters=None)
+    regfile["off"] = tuple(sorted(regfile["off"]))
+    regfile["blocked"] = tuple(sorted(regfile["blocked"]))
+    state["regfile"] = regfile
+    rename = dict(state["rename"])
+    rename["ready"] = tuple(sorted(rename["ready"]))
+    state["rename"] = rename
+    return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _canon_entry(entry) -> Optional[tuple]:
+    """Order-canonical content tuple for one issue-queue slot.
+
+    Content equality substitutes for identity here: ``op.seq`` is
+    unique per in-flight op, so equal tuples can only come from the
+    same logical entry (appearing in ``slots`` and, once issued, in
+    ``pending_removal``)."""
+    if entry is None:
+        return None
+    return (entry.op, entry.rob_index, entry.issued_at,
+            tuple(sorted(entry.waiting_tags)))
+
+
+def _leader_blob(cls: _ExecClass, stats: BatchStats) -> bytes:
+    """The leader's pickled pipeline state, served copy-on-write.
+
+    While a leader only bulk-skips stall cycles, nothing in its
+    pipeline moves — only ``now``, ``stats.cycles`` and
+    ``stats.stall_cycles`` advance (and gating, which adoption
+    overlays anyway).  The active-cycle count stamps the cached blob;
+    a stale-stamped reuse is finished off by the scalar patch in
+    :func:`_adopt_leader_state`, so a fork during a stalled stretch
+    costs O(delta) instead of re-pickling the whole processor.
+    """
+    proc = cls.leader.proc
+    pstats = proc.stats
+    stamp = pstats.cycles - pstats.stall_cycles
+    if cls.blob is not None and cls.blob_stamp == stamp:
+        stats.snapshot_reused += 1
+        return cls.blob
+    if cls.session is not None:
+        cls.session.materialize()
+    cls.blob = pickle.dumps(proc.snapshot_state())
+    cls.blob_stamp = stamp
+    stats.snapshot_full += 1
+    return cls.blob
 
 
 def run_batch(runs: List[BatchRun], store: "RunAxisStore",
               max_cycles: int, sample_interval: int,
-              on_boundary) -> None:
+              on_boundary,
+              stats: Optional[BatchStats] = None,
+              offload: Optional[Callable[[BatchRun, int], bool]] = None,
+              merge_window: int = 4) -> None:
     """Step every run of one warm-state group through the macro-step
     loop in lock-step.
 
@@ -863,6 +1213,16 @@ def run_batch(runs: List[BatchRun], store: "RunAxisStore",
     sample-fire condition, and the drain break mirror
     :func:`run_kernel` exactly, so per-run results are bit-identical
     to the per-run kernel (and, transitively, the reference loop).
+
+    Execution classes advance **one sensing interval per wave** so
+    every live class stands at the same boundary together.  That
+    lock-step is what enables divergence tolerance: at each boundary,
+    forked classes whose masked state digest re-matches another class
+    fold back in as followers (:func:`_merge_digest`;
+    ``REPRO_BATCH_MERGE=0`` disables), and a forked singleton that
+    stays diverged past ``merge_window`` boundaries is offered to
+    ``offload(run, remaining_cycles)`` — when that returns True, a
+    pool worker owns the run from its current state onward.
     """
     if sample_interval <= 0:
         raise ValueError("batched execution requires a sampling interval")
@@ -872,6 +1232,9 @@ def run_batch(runs: List[BatchRun], store: "RunAxisStore",
     for run in runs:
         if run.proc.now != now0:
             raise ValueError("batched runs must start in lock-step")
+    if stats is None:
+        stats = BatchStats()
+    merging = batch_merge_enabled()
     sharers = [r for r in runs if not r.reads_pipeline]
     classes: List[_ExecClass] = []
     if sharers:
@@ -880,27 +1243,37 @@ def run_batch(runs: List[BatchRun], store: "RunAxisStore",
     for run in runs:
         if run.reads_pipeline:
             classes.append(_ExecClass(run, [], max_cycles, store))
-    # Classes never interact after a split, so each runs to
-    # completion in turn; forks push fresh singleton classes.
-    while classes:
-        _run_class(classes.pop(), store, sample_interval,
-                   on_boundary, classes)
-
-
-def _run_class(cls: _ExecClass, store: "RunAxisStore",
-               sample_interval: int, on_boundary,
-               classes: List[_ExecClass]) -> None:
-    """Run one execution class to completion (drain or cycle budget)."""
-    leader = cls.leader
-    proc = leader.proc
-    data = store.data
-    # A lowered session executes the leader's chunks when legal; its
+    # A lowered session executes a class's chunks when legal; its
     # counter writes land on the same live row views, so the broadcast
-    # delta below is backend-independent.  Forks materialize the
-    # leader's object state before the snapshot pickle.
-    session = maybe_session(proc)
+    # delta below is backend-independent.  Forks/merges materialize
+    # the object state before any snapshot pickle.
+    for cls in classes:
+        cls.session = maybe_session(cls.leader.proc)
     try:
-        while cls.remaining > 0:
+        _wave_loop(classes, store, sample_interval, on_boundary,
+                   stats, merging, offload, merge_window)
+    finally:
+        for cls in classes:
+            if cls.session is not None:
+                cls.session.materialize()
+                cls.session = None
+
+
+def _wave_loop(classes: List[_ExecClass], store: "RunAxisStore",
+               sample_interval: int, on_boundary,
+               stats: BatchStats, merging: bool,
+               offload: Optional[Callable[[BatchRun, int], bool]],
+               merge_window: int) -> None:
+    data = store.data
+    while True:
+        live = [cls for cls in classes if not cls.done]
+        if not live:
+            return
+        # --- advance: every live class runs one boundary-aligned chunk
+        for cls in live:
+            leader = cls.leader
+            proc = leader.proc
+            session = cls.session
             now = session.now if session is not None else proc.now
             to_boundary = sample_interval - now % sample_interval
             chunk = (to_boundary if to_boundary < cls.remaining
@@ -916,45 +1289,148 @@ def _run_class(cls: _ExecClass, store: "RunAxisStore",
                 delta = data[leader.index] - cls.prev_row
                 for follower in cls.followers:
                     data[follower.index] += delta
-            if ran == chunk and chunk == to_boundary:
-                if session is not None:
-                    session.sync_out()
+            cls.at_boundary = ran == chunk and chunk == to_boundary
+            cls.finished = finished
+        # --- boundary: sample/DTM per class, then fork divergents
+        forked: List[_ExecClass] = []
+        hit_boundary = False
+        for cls in live:
+            if not cls.at_boundary:
+                continue
+            hit_boundary = True
+            proc = cls.leader.proc
+            if cls.session is not None:
+                cls.session.sync_out()
+            for follower in cls.followers:
+                _sync_scalars(follower.proc, proc)
+            on_boundary([cls.leader, *cls.followers])
+            if cls.followers:
+                gate = _effective_gating(proc)
+                kept: List[BatchRun] = []
                 for follower in cls.followers:
-                    _sync_scalars(follower.proc, proc)
-                on_boundary([leader, *cls.followers])
-                if cls.followers:
-                    gate = proc.capture_gating()
-                    blob: Optional[bytes] = None
-                    kept: List[BatchRun] = []
-                    for follower in cls.followers:
-                        if follower.proc.capture_gating() == gate:
-                            kept.append(follower)
-                            continue
-                        # Diverged: fork into a class of its own.
-                        if blob is None:
-                            if session is not None:
-                                session.materialize()
-                            blob = pickle.dumps(proc.snapshot_state())
-                        _adopt_leader_state(follower, proc, blob, store)
-                        classes.append(
-                            _ExecClass(follower, [], cls.remaining, store))
-                    cls.followers = kept
-                    if kept:
-                        cls.prev_row = data[leader.index].copy()
-                if session is not None:
-                    session.sync_in()
-            if finished:
-                break
-    finally:
-        if session is not None:
-            session.materialize()
+                    if _effective_gating(follower.proc) == gate:
+                        kept.append(follower)
+                        continue
+                    # Diverged: fork into a class of its own.
+                    blob = _leader_blob(cls, stats)
+                    _adopt_leader_state(follower, proc, blob, store)
+                    child = _ExecClass(
+                        follower, [], cls.remaining, store,
+                        merge_wait=merge_window if merging else 0)
+                    child.session = maybe_session(follower.proc)
+                    forked.append(child)
+                    stats.fork_count += 1
+                cls.followers = kept
+                if kept:
+                    cls.prev_row = data[cls.leader.index].copy()
+        classes.extend(forked)
+        # --- merge: fold re-converged classes back together
+        if merging:
+            candidates = [cls for cls in live + forked
+                          if cls.at_boundary and not cls.finished
+                          and not cls.done and cls.remaining > 0]
+            _try_merges(candidates, store, stats)
+        # --- completion: budget exhausted or pipeline drained
+        for cls in live + forked:
+            if cls.done:
+                continue
+            if cls.finished or cls.remaining <= 0:
+                _finalize_class(cls, store, stats)
+                cls.done = True
+        # --- offload: persistent divergents go to the pool
+        if offload is not None:
+            for cls in live + forked:
+                if (cls.done or cls.followers or cls.merge_wait < 0
+                        or not cls.at_boundary):
+                    continue
+                if cls.merge_wait > 0:
+                    cls.merge_wait -= 1
+                    continue
+                if cls.session is not None:
+                    cls.session.materialize()
+                    cls.session = None
+                if offload(cls.leader, cls.remaining):
+                    cls.done = True
+                    stats.offloaded_runs += 1
+                cls.merge_wait = -1
+        # --- resume accelerator sessions, record the wave
+        for cls in live + forked:
+            if (cls.at_boundary and not cls.done
+                    and cls.session is not None):
+                cls.session.sync_in()
+        if hit_boundary:
+            stats.boundaries += 1
+            occupancy = sum(1 for cls in classes if not cls.done)
+            # Occupancy 0 only occurs at the boundary where offload
+            # retires the group's last class — a group exit, not a wave.
+            if occupancy:
+                stats.class_occupancy[occupancy] = (
+                    stats.class_occupancy.get(occupancy, 0) + 1)
+
+
+def _try_merges(candidates: List[_ExecClass], store: "RunAxisStore",
+                stats: BatchStats) -> None:
+    """Fold digest-identical classes standing at one boundary back
+    into shared execution.
+
+    A pipeline-reading leader (activity toggling) may absorb others
+    but can never become a follower, so those classes sort first
+    within a signature group.  The absorbed class's members join the
+    absorber as followers; they keep their own counter rows, sensors,
+    and DTM state, exactly as if they had been followers all along —
+    legal because equal digests mean their future execution is the
+    absorber's future execution.
+    """
+    if len(candidates) < 2:
+        return
+    groups: Dict[tuple, List[_ExecClass]] = {}
+    for cls in candidates:
+        proc = cls.leader.proc
+        key = (_effective_gating(proc), _merge_signature(proc))
+        groups.setdefault(key, []).append(cls)
+    for group in groups.values():
+        if len(group) < 2:
+            continue
+        group.sort(key=lambda cls: not cls.leader.reads_pipeline)
+        base = group[0]
+        base_digest: Optional[bytes] = None
+        for cls in group[1:]:
+            if cls.leader.reads_pipeline:
+                continue  # may lead or absorb, never follow
+            if base_digest is None:
+                if base.session is not None:
+                    base.session.materialize()
+                base_digest = _merge_digest(base.leader.proc)
+            if cls.session is not None:
+                cls.session.materialize()
+                cls.session = None
+            if _merge_digest(cls.leader.proc) != base_digest:
+                continue
+            stats.merge_count += 1 + len(cls.followers)
+            base.followers.append(cls.leader)
+            base.followers.extend(cls.followers)
+            base.prev_row = store.data[base.leader.index].copy()
+            cls.followers = []
+            cls.blob = None
+            cls.done = True
+
+
+def _finalize_class(cls: _ExecClass, store: "RunAxisStore",
+                    stats: BatchStats) -> None:
+    """Class completed (drain or cycle budget) with followers still
+    attached: give each follower the leader's final pipeline state
+    (identical by construction) with its own counters and gating
+    overlaid."""
+    if cls.session is not None:
+        cls.session.materialize()
+        cls.session = None
     if cls.followers:
-        # Class completed with followers still attached: give each
-        # follower the leader's final pipeline state (identical by
-        # construction) with its own counters and gating overlaid.
-        blob = pickle.dumps(proc.snapshot_state())
+        proc = cls.leader.proc
+        blob = _leader_blob(cls, stats)
         for follower in cls.followers:
             _adopt_leader_state(follower, proc, blob, store)
+        cls.followers = []
+    cls.blob = None
 
 
 def _sync_scalars(follower: "Processor", leader: "Processor") -> None:
@@ -985,6 +1461,11 @@ def _adopt_leader_state(run: BatchRun, leader: "Processor",
     state this run would have reached executing alone.  The run's
     trace cursor is repositioned to the leader's; unpickling per run
     keeps forked siblings from sharing mutable state.
+
+    ``blob`` may be a copy-on-write snapshot captured before
+    bulk-skipped stall cycles (see :func:`_leader_blob`); the only
+    scalars that advance during such a stretch are patched from the
+    live leader after the restore.
     """
     proc = run.proc
     own_row = store.row(run.index).copy()
@@ -993,5 +1474,8 @@ def _adopt_leader_state(run: BatchRun, leader: "Processor",
     # restore_state wrote the leader's counter values through this
     # run's row views; put the run's own counters back.
     store.data[run.index] = own_row
+    proc.now = leader.now
+    proc.stats.cycles = leader.stats.cycles
+    proc.stats.stall_cycles = leader.stats.stall_cycles
     proc.apply_gating(gating)
     proc.fetch.trace.seek(leader.fetch.trace.position)

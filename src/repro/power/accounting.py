@@ -114,6 +114,19 @@ class PowerAccountant:
         self.total_energy_j = 0.0
         self.block_energy_j = {}
 
+    def snapshot_state(self) -> Dict[str, object]:
+        """The accountant's mutable interval state (everything not
+        derived from the constructor arguments), for mid-run handoff
+        of a run to another process."""
+        return {"last": self._last,
+                "total_energy_j": self.total_energy_j,
+                "block_energy_j": dict(self.block_energy_j)}
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self._last = state["last"]  # type: ignore[assignment]
+        self.total_energy_j = state["total_energy_j"]  # type: ignore
+        self.block_energy_j = dict(state["block_energy_j"])  # type: ignore
+
     def sample(self, snapshot: ActivitySnapshot,
                interval_s: float) -> Dict[str, float]:
         """Per-block average power (W) over the elapsed interval.

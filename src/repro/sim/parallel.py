@@ -47,6 +47,7 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
+from time import perf_counter
 from typing import (Callable, Dict, List, Optional, Sequence, Tuple, Union)
 
 from ..analysis.sanitize import sanitize_enabled
@@ -274,6 +275,18 @@ class EngineStats:
     #: invocations, and how many invocations there were.
     batched_runs: int = 0
     batch_groups: int = 0
+    #: Divergence tolerance inside batched groups: gating forks, runs
+    #: folded back in by re-convergence merging, runs shipped to the
+    #: dispatcher pool (upfront pipeline-reading waves plus live
+    #: mid-measurement handoffs), and the per-boundary execution-class
+    #: occupancy histogram (classes alive at a boundary -> boundaries).
+    fork_count: int = 0
+    merge_count: int = 0
+    offloaded_runs: int = 0
+    batch_class_occupancy: Dict[int, int] = field(default_factory=dict)
+    #: Pool waves skipped because pool dispatch was measured slower
+    #: than the engine's own batched-serial throughput.
+    pool_fallbacks: int = 0
     #: Warm-checkpoint traffic: runs that restored an existing
     #: checkpoint vs. runs that captured a fresh one.
     checkpoint_restores: int = 0
@@ -359,6 +372,12 @@ class ExperimentEngine:
         #: custom runner's behavior cannot be replicated in a batch).
         self._default_runner = runner is None
         self.stats = EngineStats()
+        #: Adaptive serial fallback: cycles/second the batch path
+        #: achieved (measured, not modelled), and whether pool dispatch
+        #: has been observed running slower than that — once it has,
+        #: later waves of this engine stay inline (sticky).
+        self._serial_cps = 0.0
+        self._pool_slow = False
 
     # ------------------------------------------------------------------
     def run_one(self, config: SimulationConfig) -> SimulationResult:
@@ -399,7 +418,20 @@ class ExperimentEngine:
                 results[i] = self._run_inline(configs[i])
         else:
             for wave in self._checkpoint_waves(configs, todo):
+                if self._pool_slow:
+                    # Pool dispatch already lost to batched-serial
+                    # execution on this engine; don't lose again.
+                    self.stats.pool_fallbacks += 1
+                    for i in wave:
+                        results[i] = self._run_inline(configs[i])
+                    continue
+                wave_cycles = sum(configs[i].max_cycles for i in wave)
+                start = perf_counter()
                 self._run_pool(configs, wave, results)
+                wall_s = perf_counter() - start
+                if (self._serial_cps > 0.0 and wall_s > 0.0
+                        and wave_cycles / wall_s < self._serial_cps):
+                    self._pool_slow = True
 
         if self.cache is not None:
             for i in pending:
@@ -431,20 +463,51 @@ class ExperimentEngine:
         of one, and groups the batch path declined at runtime) for the
         ordinary inline/pool machinery.
         """
-        from .batch import BatchDeclined, plan_groups, run_group
+        from ..pipeline.kernel import BatchStats
+        from .batch import (BatchDeclined, BatchDispatcher,
+                            batch_shm_enabled, plan_groups, run_group)
         checkpoint_root = (str(self.checkpoints.root)
                            if self.checkpoints is not None else None)
-        for group in plan_groups(configs, pending):
-            try:
-                outcomes = run_group([configs[i] for i in group],
-                                     checkpoint_root)
-            except BatchDeclined:
-                continue
-            for i, outcome in zip(group, outcomes):
-                results[i] = outcome.result
-                self._note(outcome)
-            self.stats.batched_runs += len(group)
-            self.stats.batch_groups += 1
+        groups = plan_groups(configs, pending)
+        # Shared-memory parallel waves: one dispatcher serves every
+        # group of this submission, so worker start-up amortizes; it
+        # never starts at all when no group sheds an execution class.
+        dispatcher = None
+        if groups and self.jobs > 1 and batch_shm_enabled():
+            dispatcher = BatchDispatcher(self.jobs)
+        batch_stats = BatchStats()
+        batched_cycles = 0
+        start = perf_counter()
+        try:
+            for group in groups:
+                try:
+                    outcomes = run_group([configs[i] for i in group],
+                                         checkpoint_root,
+                                         stats=batch_stats,
+                                         dispatcher=dispatcher)
+                except BatchDeclined:
+                    continue
+                for i, outcome in zip(group, outcomes):
+                    results[i] = outcome.result
+                    self._note(outcome)
+                batched_cycles += sum(configs[i].max_cycles
+                                      for i in group)
+                self.stats.batched_runs += len(group)
+                self.stats.batch_groups += 1
+        finally:
+            if dispatcher is not None:
+                dispatcher.shutdown()
+        wall_s = perf_counter() - start
+        if batched_cycles and wall_s > 0.0:
+            self._serial_cps = batched_cycles / wall_s
+        stats = self.stats
+        stats.fork_count += batch_stats.fork_count
+        stats.merge_count += batch_stats.merge_count
+        stats.offloaded_runs += batch_stats.offloaded_runs
+        for occupancy, boundaries in batch_stats.class_occupancy.items():
+            stats.batch_class_occupancy[occupancy] = (
+                stats.batch_class_occupancy.get(occupancy, 0)
+                + boundaries)
         return [i for i in pending if results[i] is None]
 
     # ------------------------------------------------------------------

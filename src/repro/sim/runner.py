@@ -291,6 +291,90 @@ class Simulator:
         sim.stage_times["restore_s"] = perf_counter() - start
         return sim
 
+    # ------------------------------------------------------------------
+    # mid-measurement live-state handoff (batched-grid offload)
+    # ------------------------------------------------------------------
+    #: Format version of :meth:`capture_live_state` blobs.
+    LIVE_STATE_VERSION = 1
+
+    def capture_live_state(self) -> bytes:
+        """Serialize the complete mid-measurement state of this run so
+        another process can finish it.
+
+        Extends the warm-checkpoint payload with everything that
+        accumulates *during* measurement: the power accountant's
+        interval baseline and energy totals, the thermal node
+        temperatures, the per-block sensor histories, and the DTM
+        controller state.  Must be captured at a sampling boundary
+        (the batched kernel's offload hook guarantees that), so no
+        mid-interval accounting is in flight.
+        """
+        trace = self.processor.fetch.trace
+        if not isinstance(trace, ReplayTrace):
+            raise CheckpointError("trace is not replayable")
+        payload = {
+            "version": self.LIVE_STATE_VERSION,
+            "trace_position": trace.position,
+            "processor": self.processor.snapshot_state(),
+            "warm_base": self._warm_base,
+            "warm_end": self._warm_end,
+            "accountant": self.accountant.snapshot_state(),
+            "thermal": self.thermal.snapshot_state(),
+            "sensors": self.sensors.snapshot_state(),
+            "dtm": self.dtm.snapshot_state(),
+        }
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def resume_live(cls, config: SimulationConfig,
+                    blob: bytes) -> "Simulator":
+        """Rebuild a mid-measurement simulator from
+        :meth:`capture_live_state`.  Raises :class:`CheckpointError`
+        on any malformed blob."""
+        start = perf_counter()
+        sim = cls(config, warm_caches=False)
+        trace = sim.processor.fetch.trace
+        if not isinstance(trace, ReplayTrace):
+            raise CheckpointError("trace is not replayable")
+        try:
+            state = pickle.loads(blob)
+            if (not isinstance(state, dict)
+                    or state.get("version") != cls.LIVE_STATE_VERSION):
+                raise CheckpointError("unrecognized live-state format")
+            sim.processor.restore_state(state["processor"])
+            trace.seek(state["trace_position"])
+            sim._warm_base = state["warm_base"]
+            sim._warm_end = state["warm_end"]
+            sim.accountant.restore_state(state["accountant"])
+            sim.thermal.restore_state(state["thermal"])
+            sim.sensors.restore_state(state["sensors"])
+            sim.dtm.restore_state(state["dtm"])
+        except CheckpointError:
+            raise
+        except Exception as exc:
+            raise CheckpointError(f"corrupt live state: {exc!r}") from exc
+        sim._warm_done = True
+        sim._measure_started = True
+        sim.stage_times["restore_s"] = perf_counter() - start
+        return sim
+
+    def run_remaining(self, remaining: int) -> SimulationResult:
+        """Finish a live-resumed run: execute the remaining measured
+        cycles and collect.  The run sits at a sampling boundary, so
+        the absolute-boundary schedule continues exactly where the
+        originating process left off."""
+        self._sample_s = 0.0
+        start = perf_counter()
+        with _gc_paused():
+            self.processor.run(
+                remaining,
+                on_sample=self._on_sample,
+                sample_interval=self.config.thermal.sensor_interval_cycles)
+        elapsed = perf_counter() - start
+        self.stage_times["sample_s"] = self._sample_s
+        self.stage_times["measure_s"] = elapsed - self._sample_s
+        return self._collect()
+
     def _on_sample(self, processor: Processor) -> None:
         start = perf_counter()
         # Vector fast path: the accountant's power vector is aligned

@@ -92,6 +92,19 @@ class ThermalModel:
         self._p_buf = np.zeros(n)
 
     # ------------------------------------------------------------------
+    # state handoff
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> np.ndarray:
+        """The model's only mutable state: the node temperature vector
+        (a copy).  Everything else is derived from the constructor."""
+        return self.temps.copy()
+
+    def restore_state(self, temps: np.ndarray) -> None:
+        if temps.shape != self.temps.shape:
+            raise ValueError("temperature vector shape mismatch")
+        self.temps = np.asarray(temps, dtype=float).copy()
+
+    # ------------------------------------------------------------------
     # integration
     # ------------------------------------------------------------------
     def _prepare(self, dt: float) -> Tuple[np.ndarray, np.ndarray]:

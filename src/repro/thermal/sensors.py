@@ -67,6 +67,18 @@ class SensorStats:
         """The recorded readings, oldest first (a copy)."""
         return self._values[:self._count].copy()
 
+    def snapshot_state(self) -> np.ndarray:
+        """The recorded readings (a copy; identical to
+        :meth:`history`, named for the handoff protocol)."""
+        return self.history()
+
+    def restore_state(self, values: np.ndarray) -> None:
+        count = int(values.shape[0])
+        if count > self._values.shape[0]:
+            self._values = np.empty(max(count, 64), dtype=np.float64)
+        self._values[:count] = values
+        self._count = count
+
 
 class SensorBank:
     """Reads (optionally imperfect) temperatures for the DTM logic."""
@@ -110,3 +122,14 @@ class SensorBank:
         downsampling or mutating it cannot disturb the running stats.
         """
         return self.stats[name].history()
+
+    def snapshot_state(self) -> Dict[str, np.ndarray]:
+        """Per-block reading histories, for mid-run handoff of a run
+        to another process (histories are result-visible: timelines,
+        means, maxima)."""
+        return {name: stats.snapshot_state()
+                for name, stats in self.stats.items()}
+
+    def restore_state(self, state: Dict[str, np.ndarray]) -> None:
+        for name, values in state.items():
+            self.stats[name].restore_state(values)

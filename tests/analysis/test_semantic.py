@@ -380,6 +380,55 @@ class TestREP104KernelParity:
         report = deep_findings(tmp_path, select=["REP104"])
         assert rule_ids(report) == []
 
+    def test_adoption_without_row_writeback_fires(self, tmp_path):
+        """A batched adoption path that restores a leader snapshot but
+        never writes the run's own counter row back is flagged."""
+        files = dict(REP104_FILES)
+        files["pipeline/kernel.py"] = (
+            "def _land(proc, ops_acc, busy_acc, ticks):\n"
+            "    proc.bank.ops += ops_acc\n"
+            "    proc.bank.busy_cycles += busy_acc\n"
+            "    c = proc._c\n"
+            "    c[IQC_CYCLES] += ticks\n"
+            "def run_kernel(proc, ops_acc, busy_acc, ticks):\n"
+            "    _land(proc, ops_acc, busy_acc, ticks)\n"
+            "def _adopt(run, blob, store):\n"
+            "    run.proc.restore_state(pickle.loads(blob))\n"
+            "def run_batch(runs, store, ops_acc, busy_acc, ticks):\n"
+            "    for run in runs:\n"
+            "        _land(run.proc, ops_acc, busy_acc, ticks)\n"
+            "        _adopt(run, run.blob, store)\n")
+        write_tree(tmp_path, files)
+        report = deep_findings(tmp_path, select=["REP104"])
+        assert rule_ids(report) == ["REP104"]
+        message = report.findings[0].message
+        assert "restores a leader snapshot" in message
+        assert "_adopt" in message
+
+    def test_adoption_with_row_writeback_clean(self, tmp_path):
+        """Restoring plus storing the run's own row back is the legal
+        merge/fork write-back shape."""
+        files = dict(REP104_FILES)
+        files["pipeline/kernel.py"] = (
+            "def _land(proc, ops_acc, busy_acc, ticks):\n"
+            "    proc.bank.ops += ops_acc\n"
+            "    proc.bank.busy_cycles += busy_acc\n"
+            "    c = proc._c\n"
+            "    c[IQC_CYCLES] += ticks\n"
+            "def run_kernel(proc, ops_acc, busy_acc, ticks):\n"
+            "    _land(proc, ops_acc, busy_acc, ticks)\n"
+            "def _adopt(run, blob, store):\n"
+            "    own_row = store.row(run.index).copy()\n"
+            "    run.proc.restore_state(pickle.loads(blob))\n"
+            "    store.data[run.index] = own_row\n"
+            "def run_batch(runs, store, ops_acc, busy_acc, ticks):\n"
+            "    for run in runs:\n"
+            "        _land(run.proc, ops_acc, busy_acc, ticks)\n"
+            "        _adopt(run, run.blob, store)\n")
+        write_tree(tmp_path, files)
+        report = deep_findings(tmp_path, select=["REP104"])
+        assert rule_ids(report) == []
+
     def test_absent_run_batch_skips_batch_check(self, tmp_path):
         """Trees without a batched entry point are only held to per-run
         kernel parity (mirrors the missing-kernel-file behaviour)."""

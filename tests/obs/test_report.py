@@ -90,11 +90,20 @@ class TestGenerate:
                           max_cycles=3_000, engine=warm).to_markdown()
         assert warm.stats.total == warm.stats.cache_hits > 0
         assert warm.stats.inline_runs == warm.stats.parallel_runs == 0
-        # identical figures, cached or not; only the accounting line
-        # (which reports where answers came from) may differ
+        # identical figures, cached or not; only the accounting
+        # paragraphs (which report where answers came from — the cache
+        # line, and the divergence line that only a simulating render
+        # emits) may differ
         def _body(text):
-            return [line for line in text.splitlines()
-                    if "answered from cache" not in line]
+            body = []
+            for line in text.splitlines():
+                if ("answered from cache" in line
+                        or "Divergence accounting" in line):
+                    continue
+                if not line and body and not body[-1]:
+                    continue
+                body.append(line)
+            return body
         assert _body(second) == _body(first)
 
     def test_unknown_figure_rejected(self, tmp_path):

@@ -12,6 +12,7 @@ with sanitize/trace declines and checkpoint restores in the mix.
 
 import dataclasses
 import gc
+import random
 import time
 
 import numpy as np
@@ -20,9 +21,11 @@ import pytest
 from repro.core.mapping import MappingKind
 from repro.core.policies import (ALUPolicy, IssueQueuePolicy,
                                  RegFilePolicy, TechniqueConfig)
-from repro.pipeline.kernel import batch_enabled
+from repro.pipeline.kernel import BatchStats, batch_enabled
 from repro.pipeline.soa import RunAxisStore
-from repro.sim.batch import batch_key, plan_groups
+from repro.sim import batch as batch_mod
+from repro.sim.batch import (BatchDispatcher, batch_key,
+                             batch_shm_enabled, plan_groups, run_group)
 from repro.sim.parallel import ExperimentEngine, WorkerOutcome
 from repro.sim.runner import SimulationConfig, Simulator
 from repro.thermal.floorplan import FloorplanVariant
@@ -294,6 +297,230 @@ class TestRunAxisStore:
         assert proc.activity_snapshot() == before
         assert proc._int_bank.ops.base is store.data
         assert store.row(0).sum() == 0  # other rows untouched
+
+
+def divergence_grid(**overrides):
+    """One warm-state group whose follower can be forced to diverge:
+    fine-grain + base on one benchmark (round-robin warms apart)."""
+    return [config("gzip", FloorplanVariant.ALU,
+                   TechniqueConfig(alus=policy), **overrides)
+            for policy in (ALUPolicy.FINE_GRAIN, ALUPolicy.BASE)]
+
+
+def install_gating_schedule(monkeypatch, schedule):
+    """Inject a ``{(boundary_now, run_pos): off_flag}`` gating schedule
+    into BOTH execution paths: the batched boundary hook (after each
+    class's sampling + DTM, exactly where real DTM divergence appears)
+    and ``Simulator._on_sample`` for solo runs whose ``_sched_pos``
+    attribute is set.  Toggling the last FP adder's turnoff flag is a
+    pure gating change on an int-heavy benchmark, so diverged runs can
+    genuinely re-converge."""
+
+    def apply(proc, pos):
+        flag = schedule.get((proc.now, pos))
+        if flag is not None and proc.fp_adders[-1].busy != flag:
+            proc.fp_adders[-1].busy = flag
+            proc._busy_count[0] += 1 if flag else -1
+
+    orig_boundary = batch_mod._sample_boundary
+
+    def boundary(sims, class_runs):
+        orig_boundary(sims, class_runs)
+        for run in class_runs:
+            apply(run.proc, run.index)
+
+    monkeypatch.setattr(batch_mod, "_sample_boundary", boundary)
+    orig_sample = Simulator._on_sample
+
+    def on_sample(self, processor):
+        orig_sample(self, processor)
+        pos = getattr(self, "_sched_pos", None)
+        if pos is not None:
+            apply(processor, pos)
+
+    monkeypatch.setattr(Simulator, "_on_sample", on_sample)
+
+
+def solo_results(configs):
+    """Per-run reference executions with the schedule applied."""
+    results = []
+    for pos, cfg in enumerate(configs):
+        sim = Simulator(cfg)
+        sim._sched_pos = pos
+        results.append(sim.run())
+    return results
+
+
+def assert_outcomes_match(outcomes, results):
+    assert len(outcomes) == len(results)
+    for outcome, result in zip(outcomes, results):
+        assert (dataclasses.asdict(outcome.result)
+                == dataclasses.asdict(result))
+
+
+class TestDivergenceMerging:
+    """Forced divergence: fork → re-convergence merge → re-fork must
+    be bit-identical to solo execution, with honest stats."""
+
+    # Boundaries sit at multiples of the 250-cycle sensor interval;
+    # warm-up ends at 1000 (or mid-interval at 1117), so 1250 is the
+    # first measured boundary.  Run 1 (base) diverges at 1250, merges
+    # back at 1500, re-diverges at 2000, re-merges at 2250.
+    SCHEDULE = {(1250, 1): True, (1500, 1): False,
+                (2000, 1): True, (2250, 1): False}
+
+    @pytest.mark.parametrize("warmup", [1_000, 1_117])
+    def test_fork_merge_refork_identity(self, monkeypatch, warmup):
+        """Full cycle incl. a mid-interval warm restore: the follower
+        forks off, folds back in, and forks again, and every run stays
+        asdict-identical to running alone."""
+        configs = divergence_grid(warmup_cycles=warmup)
+        install_gating_schedule(monkeypatch, self.SCHEDULE)
+        stats = BatchStats()
+        outcomes = run_group(configs, stats=stats)
+        assert stats.fork_count == 2
+        assert stats.merge_count == 2
+        assert set(stats.class_occupancy) >= {1, 2}
+        assert_outcomes_match(outcomes, solo_results(configs))
+
+    def test_merge_env_opt_out(self, monkeypatch):
+        """REPRO_BATCH_MERGE=0: forks still happen, merges never, and
+        identity is unaffected."""
+        monkeypatch.setenv("REPRO_BATCH_MERGE", "0")
+        configs = divergence_grid()
+        install_gating_schedule(monkeypatch, self.SCHEDULE)
+        stats = BatchStats()
+        outcomes = run_group(configs, stats=stats)
+        assert stats.fork_count >= 1
+        assert stats.merge_count == 0
+        assert_outcomes_match(outcomes, solo_results(configs))
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_randomized_divergence_schedules(self, monkeypatch, seed):
+        """Random gating-divergence schedules across seeds: whatever
+        fork/merge pattern falls out, results match the per-run
+        reference bit for bit."""
+        rng = random.Random(seed)
+        schedule = {}
+        state = {0: False, 1: False}
+        for now in range(1_250, 3_500, 250):
+            for pos in (0, 1):
+                if rng.random() < 0.4:
+                    state[pos] = not state[pos]
+                    schedule[(now, pos)] = state[pos]
+        configs = divergence_grid()
+        install_gating_schedule(monkeypatch, schedule)
+        stats = BatchStats()
+        outcomes = run_group(configs, stats=stats)
+        assert_outcomes_match(outcomes, solo_results(configs))
+
+    def test_schedule_matches_reference_loop(self, monkeypatch):
+        """The same forced fork/merge cycle holds against the
+        REPRO_KERNEL=0 per-cycle reference loop."""
+        configs = divergence_grid()
+        install_gating_schedule(monkeypatch, self.SCHEDULE)
+        outcomes = run_group(configs, stats=BatchStats())
+        monkeypatch.setenv("REPRO_KERNEL", "0")
+        assert_outcomes_match(outcomes, solo_results(configs))
+
+    def test_engine_surfaces_divergence_stats(self, monkeypatch):
+        """EngineStats carries fork/merge counts and per-boundary
+        execution-class occupancy up from the batched groups."""
+        configs = divergence_grid()
+        install_gating_schedule(monkeypatch, self.SCHEDULE)
+        engine = ExperimentEngine(jobs=1, use_cache=False,
+                                  use_checkpoints=False)
+        engine.run_many(configs)
+        stats = engine.stats
+        assert stats.fork_count == 2
+        assert stats.merge_count == 2
+        assert stats.batch_class_occupancy
+        assert sum(stats.batch_class_occupancy.values()) > 0
+
+
+class TestSharedMemoryWaves:
+    """Dispatcher-backed parallel waves: warm offload of singleton
+    classes, live mid-measurement handoff, and the shared-memory
+    counter store — all bit-identical to serial execution."""
+
+    def toggling_group(self):
+        return [config("gzip", FloorplanVariant.ISSUE_QUEUE,
+                       TechniqueConfig(issue_queue=policy))
+                for policy in (IssueQueuePolicy.BASE,
+                               IssueQueuePolicy.ACTIVITY_TOGGLING)]
+
+    def test_shm_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH_SHM", raising=False)
+        assert batch_shm_enabled() is True
+
+    def test_shm_env_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH_SHM", "0")
+        assert batch_shm_enabled() is False
+
+    def test_warm_offload_identity(self):
+        """A pipeline-reading follower ships to the pool whole and
+        comes back identical to running it locally."""
+        configs = self.toggling_group()
+        stats = BatchStats()
+        dispatcher = BatchDispatcher(jobs=2)
+        try:
+            outcomes = run_group(configs, stats=stats,
+                                 dispatcher=dispatcher)
+        finally:
+            dispatcher.shutdown()
+        assert stats.offloaded_runs == 1
+        assert_outcomes_match(outcomes,
+                              [Simulator(cfg).run() for cfg in configs])
+
+    def test_live_offload_identity(self, monkeypatch):
+        """A forked singleton that stays diverged is handed off
+        mid-measurement from its live state; the pool worker finishes
+        it bit-identically."""
+        monkeypatch.setenv("REPRO_BATCH_MERGE", "0")
+        schedule = {(1_250, 1): True}  # diverge once, never return
+        install_gating_schedule(monkeypatch, schedule)
+        configs = divergence_grid()
+        stats = BatchStats()
+        dispatcher = BatchDispatcher(jobs=2)
+        try:
+            outcomes = run_group(configs, stats=stats,
+                                 dispatcher=dispatcher)
+        finally:
+            dispatcher.shutdown()
+        assert stats.fork_count == 1
+        assert stats.offloaded_runs == 1
+        assert_outcomes_match(outcomes, solo_results(configs))
+
+    def test_shm_disabled_dispatch_identity(self, monkeypatch):
+        """REPRO_BATCH_SHM=0 keeps the store private: workers receive
+        no share spec and still return identical results."""
+        monkeypatch.setenv("REPRO_BATCH_SHM", "0")
+        configs = self.toggling_group()
+        stats = BatchStats()
+        dispatcher = BatchDispatcher(jobs=2)
+        try:
+            outcomes = run_group(configs, stats=stats,
+                                 dispatcher=dispatcher)
+        finally:
+            dispatcher.shutdown()
+        assert stats.offloaded_runs == 1
+        assert_outcomes_match(outcomes,
+                              [Simulator(cfg).run() for cfg in configs])
+
+    def test_engine_pool_waves_match_serial(self, monkeypatch):
+        """The whole engine path at jobs=2 (dispatcher, shared store,
+        warm offloads) equals the jobs=1 batched-serial grid.  BASE
+        leads each group so the pipeline-reading follower actually
+        ships to the pool."""
+        configs = [config(bench, FloorplanVariant.ISSUE_QUEUE,
+                          TechniqueConfig(issue_queue=policy))
+                   for bench in ("gzip", "mesa")
+                   for policy in (IssueQueuePolicy.BASE,
+                                  IssueQueuePolicy.ACTIVITY_TOGGLING)]
+        parallel, par_stats = run_grid(monkeypatch, configs, jobs=2)
+        serial, _ = run_grid(monkeypatch, configs, jobs=1)
+        assert_all_identical(parallel, serial)
+        assert par_stats.offloaded_runs >= 1
 
 
 class TestThroughput:
